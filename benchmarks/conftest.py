@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite (pytest-benchmark).
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (§7); the printed tables appear in the captured output (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them inline) and the
+pytest-benchmark statistics cover the underlying operations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.ed25519 import ed25519_group
+from repro.crypto.modp_group import modp_group_256, testing_group
+
+
+@pytest.fixture(scope="session")
+def paper_curve():
+    """The paper's curve (edwards25519), used for the TRIP latency figures."""
+    return ed25519_group()
+
+
+@pytest.fixture(scope="session")
+def ec_equivalent_group():
+    """A 256-bit group standing in for elliptic curves in cross-system figures."""
+    return modp_group_256()
+
+
+@pytest.fixture(scope="session")
+def fast_group():
+    return testing_group()

@@ -1,0 +1,13 @@
+"""Benchmark harness helpers: workload generation and table/series formatting."""
+
+from repro.bench.harness import SeriesPoint, ResultTable, format_seconds, median
+from repro.bench.workloads import registration_workload, election_workload
+
+__all__ = [
+    "SeriesPoint",
+    "ResultTable",
+    "format_seconds",
+    "median",
+    "registration_workload",
+    "election_workload",
+]

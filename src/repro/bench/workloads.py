@@ -1,0 +1,45 @@
+"""Workload generators for the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.crypto.group import Group
+from repro.crypto.modp_group import testing_group
+from repro.election.config import ElectionConfig
+from repro.registration.setup import ElectionSetup
+
+
+def registration_workload(
+    group: Group,
+    num_voters: int,
+    envelopes_per_voter: int = 3,
+    num_authority_members: int = 4,
+) -> ElectionSetup:
+    """A ready-to-register election setup with ``num_voters`` eligible voters."""
+    voter_ids = [f"voter-{index:06d}" for index in range(num_voters)]
+    return ElectionSetup.run(
+        group,
+        voter_ids,
+        num_authority_members=num_authority_members,
+        envelopes_per_voter=envelopes_per_voter,
+    )
+
+
+def election_workload(
+    num_voters: int,
+    num_options: int = 2,
+    group_factory: Optional[Callable[[], Group]] = None,
+    proof_rounds: int = 2,
+    num_mixers: int = 4,
+) -> ElectionConfig:
+    """An election configuration sized for benchmarking."""
+    config = ElectionConfig(
+        num_voters=num_voters,
+        num_options=num_options,
+        proof_rounds=proof_rounds,
+        num_mixers=num_mixers,
+    )
+    if group_factory is not None:
+        config.group_factory = group_factory
+    return config

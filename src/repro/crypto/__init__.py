@@ -1,0 +1,59 @@
+"""Cryptographic substrate for the TRIP/Votegral reproduction.
+
+Everything in Votegral runs over a cyclic group of prime order ``q`` with
+generator ``g``.  The paper's prototype uses edwards25519 (via dedis/kyber);
+this package exposes the same algebra behind an abstract :class:`Group`
+interface with several interchangeable backends:
+
+* :func:`repro.crypto.ed25519.ed25519_group` — the paper's curve, pure Python.
+* :func:`repro.crypto.modp_group.modp_group_2048` — a 2048-bit Schnorr group
+  (models the "large-modulus primitives" used by Civitas in §7.3).
+* :func:`repro.crypto.modp_group.testing_group` — a small, *insecure* group for
+  fast unit tests.
+
+On top of the group the package provides ElGamal encryption, Schnorr
+signatures, the interactive Chaum–Pedersen proof of discrete-log equality (the
+Σ-protocol at the heart of TRIP, including the honest-verifier simulator used
+to forge fake-credential transcripts), distributed key generation, verifiable
+re-encryption shuffles, plaintext-equivalence tests and distributed
+deterministic tagging.
+"""
+
+from repro.crypto.group import Group, GroupElement
+from repro.crypto.modp_group import modp_group_2048, modp_group_3072, testing_group
+from repro.crypto.ed25519 import ed25519_group
+from repro.crypto.elgamal import ElGamal, ElGamalCiphertext, ElGamalKeyPair
+from repro.crypto.schnorr import SchnorrSignature, SigningKeyPair, schnorr_keygen, schnorr_sign, schnorr_verify
+from repro.crypto.chaum_pedersen import (
+    ChaumPedersenProver,
+    ChaumPedersenTranscript,
+    chaum_pedersen_verify,
+    simulate_chaum_pedersen,
+)
+from repro.crypto.dkg import DistributedKeyGeneration, AuthorityShare
+from repro.crypto.mac import mac_sign, mac_verify
+
+__all__ = [
+    "Group",
+    "GroupElement",
+    "ed25519_group",
+    "modp_group_2048",
+    "modp_group_3072",
+    "testing_group",
+    "ElGamal",
+    "ElGamalCiphertext",
+    "ElGamalKeyPair",
+    "SchnorrSignature",
+    "SigningKeyPair",
+    "schnorr_keygen",
+    "schnorr_sign",
+    "schnorr_verify",
+    "ChaumPedersenProver",
+    "ChaumPedersenTranscript",
+    "chaum_pedersen_verify",
+    "simulate_chaum_pedersen",
+    "DistributedKeyGeneration",
+    "AuthorityShare",
+    "mac_sign",
+    "mac_verify",
+]

@@ -1,0 +1,176 @@
+"""Abstract cyclic-group interface used throughout the library.
+
+TRIP, Votegral and all baselines are written against this interface so that
+the same protocol code runs over Edwards25519 (the paper's curve), a 2048-bit
+mod-p Schnorr group (the "large modulus" setting Civitas uses), or a small
+insecure group used to keep unit tests fast.
+
+A :class:`Group` exposes the usual prime-order-group API:
+
+* the order ``q`` and a fixed generator ``g``;
+* scalar arithmetic mod ``q`` (plain Python integers);
+* element operations: multiply (group operation), exponentiation, inverse;
+* hashing to scalars and encoding elements to bytes.
+
+Elements are immutable value objects (:class:`GroupElement`) that carry a
+reference to their group, support ``*`` (group operation), ``**`` (scalar
+exponentiation), ``==`` and hashing, and serialize via :meth:`GroupElement.to_bytes`.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import secrets
+from dataclasses import dataclass
+from typing import Iterable
+
+
+class GroupElement(abc.ABC):
+    """A single element of a cyclic group.
+
+    Concrete backends subclass this with their internal representation
+    (an integer mod p, or a curve point).  All elements are immutable.
+    """
+
+    __slots__ = ()
+
+    @property
+    @abc.abstractmethod
+    def group(self) -> "Group":
+        """The group this element belongs to."""
+
+    @abc.abstractmethod
+    def operate(self, other: "GroupElement") -> "GroupElement":
+        """Group operation (written multiplicatively)."""
+
+    @abc.abstractmethod
+    def exponentiate(self, scalar: int) -> "GroupElement":
+        """Raise this element to ``scalar`` (mod the group order)."""
+
+    @abc.abstractmethod
+    def inverse(self) -> "GroupElement":
+        """The inverse element."""
+
+    @abc.abstractmethod
+    def to_bytes(self) -> bytes:
+        """A canonical, fixed-length byte encoding."""
+
+    @abc.abstractmethod
+    def __eq__(self, other: object) -> bool: ...
+
+    @abc.abstractmethod
+    def __hash__(self) -> int: ...
+
+    # Operator sugar -------------------------------------------------------
+
+    def __mul__(self, other: "GroupElement") -> "GroupElement":
+        return self.operate(other)
+
+    def __truediv__(self, other: "GroupElement") -> "GroupElement":
+        return self.operate(other.inverse())
+
+    def __pow__(self, scalar: int) -> "GroupElement":
+        return self.exponentiate(scalar)
+
+
+class Group(abc.ABC):
+    """A cyclic group of prime order ``q`` with a fixed generator ``g``."""
+
+    name: str
+
+    @property
+    @abc.abstractmethod
+    def order(self) -> int:
+        """The prime order q of the group."""
+
+    @property
+    @abc.abstractmethod
+    def generator(self) -> GroupElement:
+        """The fixed generator g."""
+
+    @property
+    @abc.abstractmethod
+    def identity(self) -> GroupElement:
+        """The neutral element."""
+
+    @abc.abstractmethod
+    def element_from_bytes(self, data: bytes) -> GroupElement:
+        """Decode a canonical encoding produced by :meth:`GroupElement.to_bytes`."""
+
+    @abc.abstractmethod
+    def hash_to_element(self, data: bytes) -> GroupElement:
+        """Deterministically derive a group element from ``data``.
+
+        Used for independent generators (Pedersen commitments, shuffle proofs)
+        whose discrete log relative to ``g`` must be unknown.
+        """
+
+    # Scalar helpers ---------------------------------------------------------
+
+    def random_scalar(self) -> int:
+        """A uniform scalar in [1, q-1]."""
+        return secrets.randbelow(self.order - 1) + 1
+
+    def hash_to_scalar(self, *parts: bytes) -> int:
+        """Hash arbitrary byte strings to a scalar in [0, q-1] (Fiat–Shamir)."""
+        h = hashlib.sha512()
+        for part in parts:
+            h.update(len(part).to_bytes(8, "big"))
+            h.update(part)
+        return int.from_bytes(h.digest(), "big") % self.order
+
+    def scalar_from_bytes(self, data: bytes) -> int:
+        return int.from_bytes(data, "big") % self.order
+
+    # Convenience ------------------------------------------------------------
+
+    def power(self, scalar: int) -> GroupElement:
+        """g**scalar for the fixed generator."""
+        return self.generator.exponentiate(scalar)
+
+    def encode_int(self, value: int) -> GroupElement:
+        """Map a small non-negative integer to a group element as g**value.
+
+        Exponential encoding: homomorphic addition of plaintexts corresponds to
+        multiplication of ciphertexts.  Decoding requires a small-range discrete
+        log (see :meth:`decode_int`).
+        """
+        if value < 0:
+            raise ValueError("encode_int expects a non-negative integer")
+        return self.power(value)
+
+    def decode_int(self, element: GroupElement, max_value: int = 10_000) -> int:
+        """Brute-force the small discrete log of ``element`` base ``g``.
+
+        Raises :class:`ValueError` if the value is not in [0, max_value].
+        """
+        probe = self.identity
+        g = self.generator
+        for candidate in range(max_value + 1):
+            if probe == element:
+                return candidate
+            probe = probe.operate(g)
+        raise ValueError("element does not encode an integer in range")
+
+    def multi_exponentiate(self, bases: Iterable[GroupElement], scalars: Iterable[int]) -> GroupElement:
+        """Product of bases[i] ** scalars[i]."""
+        accumulator = self.identity
+        for base, scalar in zip(bases, scalars):
+            accumulator = accumulator.operate(base.exponentiate(scalar))
+        return accumulator
+
+
+@dataclass(frozen=True)
+class GroupDescription:
+    """A lightweight, serializable description of a group choice.
+
+    Protocol messages and ledger records refer to groups by description so a
+    verifier can re-instantiate the correct backend.
+    """
+
+    name: str
+    bits: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}({self.bits} bits)"

@@ -1,0 +1,32 @@
+"""Hashing helpers (the paper uses SHA-256 with 2λ-bit outputs)."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def sha256(*parts: bytes) -> bytes:
+    """SHA-256 over a length-prefixed concatenation of ``parts``.
+
+    Length prefixing prevents ambiguity between e.g. ``(b"ab", b"c")`` and
+    ``(b"a", b"bc")``, which matters for transcripts and signatures.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(len(part).to_bytes(8, "big"))
+        h.update(part)
+    return h.digest()
+
+
+def sha512(*parts: bytes) -> bytes:
+    """SHA-512 over a length-prefixed concatenation of ``parts``."""
+    h = hashlib.sha512()
+    for part in parts:
+        h.update(len(part).to_bytes(8, "big"))
+        h.update(part)
+    return h.digest()
+
+
+def hash_hex(*parts: bytes) -> str:
+    """Convenience: the hex digest of :func:`sha256`."""
+    return sha256(*parts).hex()

@@ -1,0 +1,34 @@
+"""Message authentication codes.
+
+TRIP's check-in tickets carry a MAC authorization tag ``τ`` computed under a
+secret key shared between the registration officials and the kiosks
+(Appendix E.3).  The paper uses a MAC rather than a signature because the
+check-in ticket is a *barcode* with limited storage (§7.5, footnote 7).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+
+
+def mac_keygen(length: int = 32) -> bytes:
+    """Generate a fresh shared MAC key."""
+    return secrets.token_bytes(length)
+
+
+def mac_sign(key: bytes, message: bytes, length: int = 32) -> bytes:
+    """HMAC-SHA256 authorization tag over ``message``.
+
+    ``length`` truncates the tag; check-in tickets use 16-byte tags because
+    they must fit in a 1-D barcode (§7.5, footnote 7).
+    """
+    if not 8 <= length <= 32:
+        raise ValueError("MAC tags must be between 8 and 32 bytes")
+    return hmac.new(key, message, hashlib.sha256).digest()[:length]
+
+
+def mac_verify(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Constant-time verification of a (possibly truncated) authorization tag."""
+    return len(tag) >= 8 and hmac.compare_digest(mac_sign(key, message, length=len(tag)), tag)

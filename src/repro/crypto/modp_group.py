@@ -1,0 +1,227 @@
+"""Multiplicative (Schnorr) subgroups of Z_p* as a :class:`~repro.crypto.group.Group`.
+
+Two roles in the reproduction:
+
+* ``modp_group_2048`` / ``modp_group_3072`` model the "large-modulus
+  primitives" the Civitas implementation uses (§7.3 of the paper attributes a
+  large part of Civitas' slowness to this choice versus elliptic curves).
+* ``testing_group`` is a small, fast, **insecure** group used to keep the unit
+  tests quick.  Its parameters are clearly labelled and must never be used
+  outside tests.
+
+A Schnorr group is the order-``q`` subgroup of Z_p* where ``p = 2q·r + 1``.
+We use safe primes (``p = 2q + 1``) so every quadratic residue generates the
+subgroup, which makes hashing to the group trivial (square the hash).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+
+from repro.crypto.group import Group, GroupElement
+
+
+class ModPElement(GroupElement):
+    """An element of a Schnorr subgroup, stored as an integer mod p."""
+
+    __slots__ = ("_value", "_group")
+
+    def __init__(self, value: int, group: "ModPGroup"):
+        self._value = value % group.modulus
+        self._group = group
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def group(self) -> "ModPGroup":
+        return self._group
+
+    def operate(self, other: GroupElement) -> "ModPElement":
+        if not isinstance(other, ModPElement) or other._group is not self._group:
+            raise TypeError("cannot combine elements from different groups")
+        return ModPElement((self._value * other._value) % self._group.modulus, self._group)
+
+    def exponentiate(self, scalar: int) -> "ModPElement":
+        return ModPElement(pow(self._value, scalar % self._group.order, self._group.modulus), self._group)
+
+    def inverse(self) -> "ModPElement":
+        return ModPElement(pow(self._value, -1, self._group.modulus), self._group)
+
+    def to_bytes(self) -> bytes:
+        return self._value.to_bytes(self._group.element_bytes, "big")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ModPElement)
+            and other._group is self._group
+            and other._value == self._value
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self._group), self._value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ModPElement({self._value:#x})"
+
+
+class ModPGroup(Group):
+    """The order-q subgroup of Z_p* for a safe prime p = 2q + 1."""
+
+    def __init__(self, name: str, modulus: int, order: int, generator: int):
+        self.name = name
+        self.modulus = modulus
+        self._order = order
+        self.element_bytes = (modulus.bit_length() + 7) // 8
+        self._generator = ModPElement(generator, self)
+        self._identity = ModPElement(1, self)
+        if pow(generator, order, modulus) != 1:
+            raise ValueError("generator does not have the declared order")
+
+    @property
+    def order(self) -> int:
+        return self._order
+
+    @property
+    def generator(self) -> ModPElement:
+        return self._generator
+
+    @property
+    def identity(self) -> ModPElement:
+        return self._identity
+
+    def element(self, value: int) -> ModPElement:
+        """Wrap a raw integer (assumed to be a subgroup member)."""
+        return ModPElement(value, self)
+
+    def element_from_bytes(self, data: bytes) -> ModPElement:
+        value = int.from_bytes(data, "big")
+        if not 1 <= value < self.modulus:
+            raise ValueError("encoded value outside the field")
+        return ModPElement(value, self)
+
+    def hash_to_element(self, data: bytes) -> ModPElement:
+        """Hash into the subgroup by squaring a field element derived from data."""
+        digest = hashlib.sha512(data).digest()
+        candidate = int.from_bytes(digest, "big") % self.modulus
+        if candidate == 0:
+            candidate = 1
+        return ModPElement(pow(candidate, 2, self.modulus), self)
+
+    def is_member(self, element: ModPElement) -> bool:
+        """Subgroup membership test: x^q == 1 mod p."""
+        return pow(element.value, self._order, self.modulus) == 1
+
+
+# ---------------------------------------------------------------------------
+# Parameter presets
+# ---------------------------------------------------------------------------
+
+# RFC 3526 MODP group 14 (2048-bit) prime.  It is not a safe prime of the form
+# 2q+1 with prime q for the full group, but (p-1)/2 is prime for this modulus,
+# so the quadratic-residue subgroup has prime order (p-1)/2.
+_RFC3526_2048_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+
+# RFC 3526 MODP group 15 (3072-bit) prime.
+_RFC3526_3072_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AAAC42DAD33170D04507A33"
+    "A85521ABDF1CBA64ECFB850458DBEF0A8AEA71575D060C7DB3970F85A6E1E4C7"
+    "ABF5AE8CDB0933D71E8C94E04A25619DCEE3D2261AD2EE6BF12FFA06D98A0864"
+    "D87602733EC86A64521F2B18177B200CBBE117577A615D6C770988C0BAD946E2"
+    "08E24FA074E5AB3143DB5BFCE0FD108E4B82D120A93AD2CAFFFFFFFFFFFFFFFF",
+    16,
+)
+
+# A 256-bit Schnorr group with a safe prime, generated offline.  Used as the
+# "elliptic-curve-equivalent small group" when Ed25519 is too slow for a given
+# workload; its exponent size (≈255 bits) matches the paper's curve order.
+_SAFE_256_P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF72EF
+_SAFE_256_Q = (_SAFE_256_P - 1) // 2
+
+# Small toy parameters for tests: p = 2q+1 with q prime (63-bit p).  NOT SECURE.
+_TOY_P = 9223372036854771239
+_TOY_Q = (_TOY_P - 1) // 2
+
+
+def _quadratic_residue_generator(p: int) -> int:
+    """Return a generator of the quadratic-residue subgroup of Z_p*."""
+    return pow(2, 2, p) if pow(2, (p - 1) // 2, p) != 1 else 2
+
+
+@lru_cache(maxsize=None)
+def modp_group_2048() -> ModPGroup:
+    """The 2048-bit "Civitas-style" large-modulus group."""
+    p = _RFC3526_2048_P
+    q = (p - 1) // 2
+    return ModPGroup("modp-2048", p, q, _quadratic_residue_generator(p))
+
+
+@lru_cache(maxsize=None)
+def modp_group_3072() -> ModPGroup:
+    """A 3072-bit large-modulus group (higher-security Civitas setting)."""
+    p = _RFC3526_3072_P
+    q = (p - 1) // 2
+    return ModPGroup("modp-3072", p, q, _quadratic_residue_generator(p))
+
+
+@lru_cache(maxsize=None)
+def modp_group_256() -> ModPGroup:
+    """A 256-bit safe-prime group whose exponent size matches edwards25519."""
+    if not _is_probable_prime(_SAFE_256_Q) or not _is_probable_prime(_SAFE_256_P):
+        raise RuntimeError("256-bit preset parameters are not prime")  # pragma: no cover
+    return ModPGroup("modp-256", _SAFE_256_P, _SAFE_256_Q, _quadratic_residue_generator(_SAFE_256_P))
+
+
+@lru_cache(maxsize=None)
+def testing_group() -> ModPGroup:
+    """A tiny, fast, **insecure** group for unit tests only."""
+    if not _is_probable_prime(_TOY_Q) or not _is_probable_prime(_TOY_P):
+        raise RuntimeError("testing group parameters are not prime")  # pragma: no cover
+    return ModPGroup("modp-toy-INSECURE", _TOY_P, _TOY_Q, _quadratic_residue_generator(_TOY_P))
+
+
+def _is_probable_prime(n: int, rounds: int = 20) -> bool:
+    """Miller–Rabin primality test (deterministic witnesses + random rounds)."""
+    if n < 2:
+        return False
+    small_primes = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]
+    for p in small_primes:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    import random
+
+    witnesses = small_primes + [random.randrange(2, n - 1) for _ in range(rounds)]
+    for a in witnesses:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True

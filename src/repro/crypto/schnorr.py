@@ -1,0 +1,80 @@
+"""Schnorr signatures over an abstract prime-order group.
+
+The paper's prototype uses Schnorr signatures with SHA-256 on edwards25519
+(§6).  Every TRIP credential is a Schnorr signing key pair; kiosks, officials
+and envelope printers also hold Schnorr key pairs and sign the artefacts they
+produce (commit codes, check-out tickets, envelope challenges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.group import Group, GroupElement
+
+
+@dataclass(frozen=True)
+class SigningKeyPair:
+    """A Schnorr signing key pair ``(sk, pk = g^sk)``."""
+
+    secret: int
+    public: GroupElement
+
+    @property
+    def group(self) -> Group:
+        return self.public.group
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    """A Schnorr signature ``(R, s)`` with ``s = k + H(R, pk, m)·sk``."""
+
+    commitment: GroupElement
+    response: int
+
+    def to_bytes(self) -> bytes:
+        return self.commitment.to_bytes() + self.response.to_bytes(64, "big")
+
+
+def schnorr_keygen(group: Group, secret: Optional[int] = None) -> SigningKeyPair:
+    """Generate a Schnorr key pair over ``group``."""
+    sk = secret if secret is not None else group.random_scalar()
+    return SigningKeyPair(secret=sk, public=group.power(sk))
+
+
+def public_key_from_secret(group: Group, secret: int) -> GroupElement:
+    """Recompute the public key from a secret key (``Sig.PubKey`` in the paper)."""
+    return group.power(secret)
+
+
+def _challenge(group: Group, commitment: GroupElement, public: GroupElement, message: bytes) -> int:
+    return group.hash_to_scalar(
+        b"schnorr-signature",
+        commitment.to_bytes(),
+        public.to_bytes(),
+        message,
+    )
+
+
+def schnorr_sign(keypair: SigningKeyPair, message: bytes, nonce: Optional[int] = None) -> SchnorrSignature:
+    """Sign ``message`` with the key pair.
+
+    A fresh random nonce is drawn unless one is supplied (deterministic nonces
+    are only used in tests; reusing a nonce leaks the secret key).
+    """
+    group = keypair.group
+    k = nonce if nonce is not None else group.random_scalar()
+    commitment = group.power(k)
+    challenge = _challenge(group, commitment, keypair.public, message)
+    response = (k + challenge * keypair.secret) % group.order
+    return SchnorrSignature(commitment=commitment, response=response)
+
+
+def schnorr_verify(public: GroupElement, message: bytes, signature: SchnorrSignature) -> bool:
+    """Verify a Schnorr signature; returns ``True`` iff it is valid."""
+    group = public.group
+    challenge = _challenge(group, signature.commitment, public, message)
+    lhs = group.power(signature.response)
+    rhs = signature.commitment * (public ** challenge)
+    return lhs == rhs

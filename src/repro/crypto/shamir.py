@@ -1,0 +1,81 @@
+"""Shamir secret sharing over the group's scalar field.
+
+Used by the distributed key generation (:mod:`repro.crypto.dkg`) so the
+election authority's private key is reconstructable by any threshold subset,
+and by the social-key-recovery extension discussed in Appendix K.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class Share:
+    """A single Shamir share: the evaluation of the secret polynomial at ``index``."""
+
+    index: int
+    value: int
+
+
+def split_secret(secret: int, threshold: int, num_shares: int, modulus: int) -> List[Share]:
+    """Split ``secret`` into ``num_shares`` shares with reconstruction threshold ``threshold``.
+
+    The polynomial is of degree ``threshold - 1`` with the secret as the
+    constant coefficient; shares are evaluations at x = 1..num_shares.
+    """
+    if not 1 <= threshold <= num_shares:
+        raise ValueError("threshold must satisfy 1 <= threshold <= num_shares")
+    if not 0 <= secret < modulus:
+        raise ValueError("secret must be reduced modulo the field order")
+    coefficients = [secret] + [secrets.randbelow(modulus) for _ in range(threshold - 1)]
+    shares = []
+    for index in range(1, num_shares + 1):
+        value = 0
+        for power, coefficient in enumerate(coefficients):
+            value = (value + coefficient * pow(index, power, modulus)) % modulus
+        shares.append(Share(index=index, value=value))
+    return shares
+
+
+def lagrange_coefficient(index: int, indices: Sequence[int], modulus: int) -> int:
+    """The Lagrange basis polynomial for ``index`` evaluated at zero."""
+    numerator, denominator = 1, 1
+    for other in indices:
+        if other == index:
+            continue
+        numerator = (numerator * (-other)) % modulus
+        denominator = (denominator * (index - other)) % modulus
+    return (numerator * pow(denominator, -1, modulus)) % modulus
+
+
+def reconstruct_secret(shares: Sequence[Share], modulus: int) -> int:
+    """Reconstruct the secret from at least ``threshold`` distinct shares."""
+    if not shares:
+        raise ValueError("at least one share is required")
+    indices = [share.index for share in shares]
+    if len(set(indices)) != len(indices):
+        raise ValueError("shares must have distinct indices")
+    secret = 0
+    for share in shares:
+        coefficient = lagrange_coefficient(share.index, indices, modulus)
+        secret = (secret + share.value * coefficient) % modulus
+    return secret
+
+
+def reconstruct_in_exponent(points: Dict[int, "object"], modulus: int):
+    """Lagrange interpolation "in the exponent".
+
+    ``points`` maps share indices to group elements ``c1^{sk_i}``.  Returns the
+    product ``∏ (c1^{sk_i})^{λ_i}`` which equals ``c1^{sk}``; used for threshold
+    ElGamal decryption with Shamir-shared keys.
+    """
+    indices = list(points.keys())
+    result = None
+    for index, element in points.items():
+        coefficient = lagrange_coefficient(index, indices, modulus)
+        term = element ** coefficient
+        result = term if result is None else result * term
+    return result

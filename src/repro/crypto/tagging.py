@@ -1,0 +1,154 @@
+"""Distributed deterministic tagging (linear-time credential filtering).
+
+Votegral avoids Civitas' quadratic PET-based filtering by applying a
+*deterministic blinding tag* to both sides of the match (§4.2, §7.4, and the
+Weber-et-al. linear-work construction the paper cites):
+
+* every ballot is submitted under a credential public key ``K`` (real or
+  fake) — the tally service blinds it to ``K^z``;
+* every active registration record carries the public credential tag
+  ``c_pc = Enc_A(K_real)`` — the tally service exponentiates the ciphertext to
+  obtain ``Enc_A(K_real^z)`` and then threshold-decrypts it to ``K_real^z``.
+
+The blinding exponent ``z`` is the product of per-member secrets ``z_i``, so
+no single member can link a blinded tag back to a credential, yet the same
+credential always maps to the same tag — matching is a hash join, linear in
+the number of ballots.  Every member's exponentiation step ships with a
+Chaum–Pedersen proof of consistency so the whole filtering step is publicly
+verifiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.crypto.chaum_pedersen import (
+    ChaumPedersenStatement,
+    ChaumPedersenTranscript,
+    fiat_shamir_prove,
+    fiat_shamir_verify,
+)
+from repro.crypto.dkg import DistributedKeyGeneration
+from repro.crypto.elgamal import ElGamalCiphertext
+from repro.crypto.group import Group, GroupElement
+from repro.errors import VerificationError
+
+
+@dataclass(frozen=True)
+class TaggingStep:
+    """One member's exponentiation step with its correctness proof.
+
+    The proof shows the member used the same secret exponent it committed to
+    (``commitment = g^{z_i}``) when transforming ``before`` into ``after``.
+    """
+
+    member_index: int
+    before: GroupElement
+    after: GroupElement
+    commitment: GroupElement
+    proof: ChaumPedersenTranscript
+
+
+@dataclass(frozen=True)
+class BlindedTag:
+    """A fully blinded tag ``value = m^{z_1·…·z_n}`` plus the per-member steps."""
+
+    value: GroupElement
+    steps: List[TaggingStep]
+
+    def key(self) -> bytes:
+        """A canonical byte key for hash-join matching."""
+        return self.value.to_bytes()
+
+
+@dataclass
+class TaggingAuthority:
+    """The per-member tagging secrets and their public commitments.
+
+    A fresh tagging key must be drawn for every tally run; reusing the
+    exponent across elections would let observers link ballots across runs.
+    """
+
+    group: Group
+    secrets: List[int]
+    commitments: List[GroupElement] = field(default_factory=list)
+
+    @classmethod
+    def create(cls, group: Group, num_members: int) -> "TaggingAuthority":
+        secrets = [group.random_scalar() for _ in range(num_members)]
+        commitments = [group.power(z) for z in secrets]
+        return cls(group=group, secrets=secrets, commitments=commitments)
+
+    @property
+    def num_members(self) -> int:
+        return len(self.secrets)
+
+    # Blinding plain group elements (ballot credential keys) -------------------
+
+    def blind_element(self, element: GroupElement) -> BlindedTag:
+        """Blind a public group element through every member in turn."""
+        current = element
+        steps: List[TaggingStep] = []
+        for index, (secret, commitment) in enumerate(zip(self.secrets, self.commitments), start=1):
+            after = current ** secret
+            statement = ChaumPedersenStatement(
+                base_g=current,
+                base_h=self.group.generator,
+                value_g=after,
+                value_h=commitment,
+            )
+            proof = fiat_shamir_prove(statement, secret, context=b"deterministic-tag")
+            steps.append(TaggingStep(index, current, after, commitment, proof))
+            current = after
+        return BlindedTag(value=current, steps=steps)
+
+    # Blinding ciphertexts (registration credential tags) ----------------------
+
+    def blind_ciphertext(self, ciphertext: ElGamalCiphertext) -> ElGamalCiphertext:
+        """Raise a ciphertext to the collective tagging exponent.
+
+        ``Enc(m)^z = Enc(m^z)``, so the subsequent threshold decryption reveals
+        only the blinded tag, never the raw credential key.
+        """
+        current = ciphertext
+        for secret in self.secrets:
+            current = current.exponentiate(secret)
+        return current
+
+    def blind_and_decrypt(
+        self,
+        dkg: DistributedKeyGeneration,
+        ciphertext: ElGamalCiphertext,
+        verify: bool = True,
+    ) -> GroupElement:
+        """Blind a registration tag ciphertext and threshold-decrypt it."""
+        blinded = self.blind_ciphertext(ciphertext)
+        return dkg.decrypt(blinded, verify=verify)
+
+
+def verify_blinded_tag(tag: BlindedTag, original: GroupElement, commitments: Optional[List[GroupElement]] = None) -> bool:
+    """Publicly verify the chain of tagging steps from ``original`` to ``tag.value``."""
+    current = original
+    for step in tag.steps:
+        if step.before != current:
+            return False
+        statement = step.proof.statement
+        consistent = (
+            statement.base_g == step.before
+            and statement.value_g == step.after
+            and statement.value_h == step.commitment
+        )
+        if commitments is not None:
+            consistent = consistent and step.commitment == commitments[step.member_index - 1]
+        if not consistent or not fiat_shamir_verify(step.proof, context=b"deterministic-tag"):
+            return False
+        current = step.after
+    if current != tag.value:
+        return False
+    return True
+
+
+def assert_valid_tag(tag: BlindedTag, original: GroupElement, commitments: Optional[List[GroupElement]] = None) -> None:
+    if not verify_blinded_tag(tag, original, commitments):
+        raise VerificationError("deterministic tagging chain failed verification")

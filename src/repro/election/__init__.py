@@ -1,0 +1,6 @@
+"""Full Votegral election orchestration: setup → registration → voting → tally."""
+
+from repro.election.config import ElectionConfig
+from repro.election.pipeline import VotegralElection, ElectionReport
+
+__all__ = ["ElectionConfig", "VotegralElection", "ElectionReport"]

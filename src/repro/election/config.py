@@ -1,0 +1,37 @@
+"""Election configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.crypto.group import Group
+from repro.crypto.modp_group import testing_group
+
+
+@dataclass
+class ElectionConfig:
+    """Parameters of a simulated Votegral election.
+
+    The defaults favour fast simulation (toy group, few proof rounds); the
+    benchmarks override ``group`` with Ed25519 or the 2048-bit group and raise
+    ``proof_rounds`` when measuring realistic costs.
+    """
+
+    num_voters: int = 10
+    num_options: int = 2
+    num_authority_members: int = 4
+    num_mixers: int = 4
+    proof_rounds: int = 4
+    envelopes_per_voter: int = 3
+    fake_credentials_per_voter: int = 1
+    election_id: str = "default"
+    hardware_profile: str = "H1"
+    group_factory: Callable[[], Group] = testing_group
+
+    def voter_ids(self) -> List[str]:
+        width = max(4, len(str(self.num_voters)))
+        return [f"voter-{index:0{width}d}" for index in range(self.num_voters)]
+
+    def make_group(self) -> Group:
+        return self.group_factory()

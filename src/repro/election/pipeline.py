@@ -1,0 +1,166 @@
+"""The complete Votegral election pipeline.
+
+:class:`VotegralElection` strings together every phase the paper's end-to-end
+evaluation (§7.4) measures: setup, in-person registration via TRIP, ballot
+casting (real and fake), and the verifiable tally.  It is the object the
+examples and the Figure 5 benchmarks drive.
+"""
+
+from __future__ import annotations
+
+import secrets
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.election.config import ElectionConfig
+from repro.errors import ProtocolError
+from repro.peripherals.hardware import hardware_profile
+from repro.registration.protocol import RegistrationOutcome, RegistrationSession
+from repro.registration.setup import ElectionSetup
+from repro.registration.voter import Voter
+from repro.tally.pipeline import TallyPipeline, TallyResult, verify_tally
+from repro.voting.client import VotingClient
+
+
+@dataclass
+class PhaseTiming:
+    """Wall-clock seconds spent in each election phase (the Fig. 5 quantities)."""
+
+    setup_seconds: float = 0.0
+    registration_seconds: float = 0.0
+    voting_seconds: float = 0.0
+    tally_seconds: float = 0.0
+
+    def per_voter(self, num_voters: int) -> Dict[str, float]:
+        voters = max(1, num_voters)
+        return {
+            "registration": self.registration_seconds / voters,
+            "voting": self.voting_seconds / voters,
+            "tally": self.tally_seconds / voters,
+        }
+
+
+@dataclass
+class ElectionReport:
+    """The outcome of a complete simulated election."""
+
+    config: ElectionConfig
+    result: TallyResult
+    timing: PhaseTiming
+    intended_counts: Dict[int, int]
+    registration_outcomes: List[RegistrationOutcome]
+    universally_verified: bool
+
+    @property
+    def counts_match_intent(self) -> bool:
+        """Did the published tally equal the voters' real intentions?"""
+        return self.result.counts == self.intended_counts
+
+
+class VotegralElection:
+    """Drives a full election according to an :class:`ElectionConfig`."""
+
+    def __init__(self, config: Optional[ElectionConfig] = None):
+        self.config = config or ElectionConfig()
+        self.group = self.config.make_group()
+        self.setup: Optional[ElectionSetup] = None
+        self.clients: Dict[str, VotingClient] = {}
+        self.outcomes: List[RegistrationOutcome] = []
+        self.timing = PhaseTiming()
+
+    # ------------------------------------------------------------------ phases
+
+    def run_setup(self) -> ElectionSetup:
+        start = time.perf_counter()
+        self.setup = ElectionSetup.run(
+            self.group,
+            self.config.voter_ids(),
+            num_authority_members=self.config.num_authority_members,
+            envelopes_per_voter=self.config.envelopes_per_voter,
+        )
+        self.timing.setup_seconds = time.perf_counter() - start
+        return self.setup
+
+    def run_registration(self, activate: bool = True) -> List[RegistrationOutcome]:
+        if self.setup is None:
+            self.run_setup()
+        start = time.perf_counter()
+        session = RegistrationSession(
+            setup=self.setup, profile=hardware_profile(self.config.hardware_profile)
+        )
+        for voter_id in self.config.voter_ids():
+            voter = Voter(voter_id, num_fake_credentials=self.config.fake_credentials_per_voter)
+            outcome = session.register(voter, activate=activate)
+            self.outcomes.append(outcome)
+            client = VotingClient(
+                group=self.group,
+                board=self.setup.board,
+                authority_public_key=self.setup.authority_public_key,
+            )
+            for report in outcome.activation_reports:
+                if report.success and report.credential is not None:
+                    client.add_credential(report.credential)
+            self.clients[voter_id] = client
+        self.timing.registration_seconds = time.perf_counter() - start
+        return self.outcomes
+
+    def run_voting(
+        self,
+        choices: Optional[Dict[str, int]] = None,
+        fake_vote_probability: float = 0.5,
+    ) -> Dict[str, int]:
+        """Cast one real ballot per voter (and, with some probability, a fake one)."""
+        if not self.clients:
+            self.run_registration()
+        if choices is None:
+            choices = {
+                voter_id: secrets.randbelow(self.config.num_options)
+                for voter_id in self.config.voter_ids()
+            }
+        start = time.perf_counter()
+        for voter_id, client in self.clients.items():
+            choice = choices[voter_id]
+            client.cast_real(choice, self.config.num_options, election_id=self.config.election_id)
+            if client.fake_credentials() and secrets.randbelow(1000) < fake_vote_probability * 1000:
+                decoy = secrets.randbelow(self.config.num_options)
+                client.cast_fake(decoy, self.config.num_options, election_id=self.config.election_id)
+        self.timing.voting_seconds = time.perf_counter() - start
+        self._intended = choices
+        return choices
+
+    def run_tally(self, verify: bool = True) -> TallyResult:
+        if self.setup is None or self.setup.board.num_ballots == 0:
+            raise ProtocolError("voting must happen before tallying")
+        start = time.perf_counter()
+        pipeline = TallyPipeline(
+            group=self.group,
+            authority=self.setup.authority,
+            num_mixers=self.config.num_mixers,
+            proof_rounds=self.config.proof_rounds,
+        )
+        result = pipeline.run(self.setup.board, self.config.num_options, self.config.election_id)
+        self.timing.tally_seconds = time.perf_counter() - start
+        self._verified = verify_tally(self.group, self.setup.authority, self.setup.board, result,
+                                      self.config.election_id) if verify else False
+        return result
+
+    # ------------------------------------------------------------------ end-to-end
+
+    def run(self, choices: Optional[Dict[str, int]] = None, verify: bool = True) -> ElectionReport:
+        """Run every phase and return the consolidated report."""
+        self.run_setup()
+        self.run_registration()
+        cast = self.run_voting(choices)
+        result = self.run_tally(verify=verify)
+        intended: Dict[int, int] = {option: 0 for option in range(self.config.num_options)}
+        for choice in cast.values():
+            intended[choice] += 1
+        return ElectionReport(
+            config=self.config,
+            result=result,
+            timing=self.timing,
+            intended_counts=intended,
+            registration_outcomes=self.outcomes,
+            universally_verified=self._verified if verify else False,
+        )

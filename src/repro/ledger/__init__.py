@@ -1,0 +1,36 @@
+"""The public bulletin board (ledger) substrate.
+
+Votegral's backend includes a ledger ``L`` — an append-only, always-available,
+publicly-readable data structure — split into three sub-ledgers (Appendix D.1):
+
+* ``L_R`` the **registration ledger** (one active record per voter identity),
+* ``L_E`` the **envelope commitment ledger** (hashes of envelope challenges
+  published by the printers, plus challenges consumed at activation),
+* ``L_V`` the **ballot ledger** (encrypted ballots).
+
+The paper idealizes the ledger as tamper-evident with a globally consistent
+view.  We implement it as a hash-chained append-only log with inclusion
+proofs, which makes tampering detectable by any auditor who retains an earlier
+head — the property the idealization stands in for.
+"""
+
+from repro.ledger.log import AppendOnlyLog, LogEntry, LogHead, InclusionProof
+from repro.ledger.bulletin_board import (
+    BulletinBoard,
+    RegistrationRecord,
+    EnvelopeCommitmentRecord,
+    EnvelopeUsageRecord,
+    BallotRecord,
+)
+
+__all__ = [
+    "AppendOnlyLog",
+    "LogEntry",
+    "LogHead",
+    "InclusionProof",
+    "BulletinBoard",
+    "RegistrationRecord",
+    "EnvelopeCommitmentRecord",
+    "EnvelopeUsageRecord",
+    "BallotRecord",
+]

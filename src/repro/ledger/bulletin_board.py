@@ -1,0 +1,223 @@
+"""The Votegral bulletin board: typed views over the three sub-ledgers.
+
+The bulletin board stores structured records for:
+
+* **registration sessions** — ``L_R[V_id] = (c_pc, K_pk, σ_kot, O_pk, σ_o)``
+  (Fig. 10); a new record for the same voter identity supersedes all prior
+  ones, so there is at most one *active* registration per voter;
+* **envelope commitments** — ``(P_pk, H(e), σ_p)`` published by the envelope
+  printers at setup (Fig. 7), plus the challenges revealed at activation so
+  duplicate-envelope attacks are detectable (Appendix F.3.5);
+* **ballots** — encrypted ballots signed by a credential key pair.
+
+Records are serialized and appended to the underlying hash-chained logs, so
+all the tamper-evidence and inclusion-proof machinery of
+:class:`repro.ledger.log.AppendOnlyLog` applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.crypto.group import GroupElement
+from repro.crypto.hashing import sha256
+from repro.crypto.schnorr import SchnorrSignature
+from repro.errors import LedgerError
+from repro.ledger.log import AppendOnlyLog
+
+
+@dataclass(frozen=True)
+class RegistrationRecord:
+    """An entry of the registration ledger ``L_R`` (check-out, Fig. 10)."""
+
+    voter_id: str
+    public_credential_c1: GroupElement
+    public_credential_c2: GroupElement
+    kiosk_public_key: GroupElement
+    kiosk_signature: SchnorrSignature
+    official_public_key: GroupElement
+    official_signature: SchnorrSignature
+
+    def payload(self) -> bytes:
+        return sha256(
+            b"registration-record",
+            self.voter_id.encode(),
+            self.public_credential_c1.to_bytes(),
+            self.public_credential_c2.to_bytes(),
+            self.kiosk_public_key.to_bytes(),
+            self.kiosk_signature.to_bytes(),
+            self.official_public_key.to_bytes(),
+            self.official_signature.to_bytes(),
+        )
+
+
+@dataclass(frozen=True)
+class EnvelopeCommitmentRecord:
+    """An entry of the envelope ledger ``L_E``: printer key, H(e), signature."""
+
+    printer_public_key: GroupElement
+    challenge_hash: bytes
+    printer_signature: SchnorrSignature
+
+    def payload(self) -> bytes:
+        return sha256(
+            b"envelope-commitment",
+            self.printer_public_key.to_bytes(),
+            self.challenge_hash,
+            self.printer_signature.to_bytes(),
+        )
+
+
+@dataclass(frozen=True)
+class EnvelopeUsageRecord:
+    """A challenge revealed at activation time (duplicate detection)."""
+
+    challenge: int
+    challenge_hash: bytes
+
+    def payload(self) -> bytes:
+        return sha256(b"envelope-usage", self.challenge.to_bytes(64, "big"), self.challenge_hash)
+
+
+@dataclass(frozen=True)
+class BallotRecord:
+    """An entry of the ballot ledger ``L_V``.
+
+    ``credential_public_key`` is the key the ballot was cast with (real or
+    fake — indistinguishable on the ledger); the ciphertext is the encrypted
+    vote; the signature binds the two.
+    """
+
+    credential_public_key: GroupElement
+    ciphertext_c1: GroupElement
+    ciphertext_c2: GroupElement
+    signature: SchnorrSignature
+    election_id: str = "default"
+
+    def payload(self) -> bytes:
+        return sha256(
+            b"ballot-record",
+            self.election_id.encode(),
+            self.credential_public_key.to_bytes(),
+            self.ciphertext_c1.to_bytes(),
+            self.ciphertext_c2.to_bytes(),
+            self.signature.to_bytes(),
+        )
+
+
+class BulletinBoard:
+    """The ledger ``L`` with its three sub-ledgers and typed accessors."""
+
+    def __init__(self) -> None:
+        self.registration_log = AppendOnlyLog("L_R")
+        self.envelope_log = AppendOnlyLog("L_E")
+        self.ballot_log = AppendOnlyLog("L_V")
+
+        self._registrations: List[RegistrationRecord] = []
+        self._active_registration: Dict[str, RegistrationRecord] = {}
+        self._eligible_voters: List[str] = []
+
+        self._envelope_commitments: Dict[bytes, EnvelopeCommitmentRecord] = {}
+        self._used_challenges: Dict[bytes, EnvelopeUsageRecord] = {}
+
+        self._ballots: List[BallotRecord] = []
+
+    # Electoral roll ------------------------------------------------------------
+
+    def publish_electoral_roll(self, voter_ids: List[str]) -> None:
+        """Populate ``L_R`` with the eligible voters' identifiers (Fig. 7, line 4)."""
+        for voter_id in voter_ids:
+            if voter_id in self._eligible_voters:
+                raise LedgerError(f"duplicate voter identifier on the roll: {voter_id}")
+            self._eligible_voters.append(voter_id)
+            self.registration_log.append(sha256(b"eligible-voter", voter_id.encode()))
+
+    @property
+    def eligible_voters(self) -> List[str]:
+        return list(self._eligible_voters)
+
+    def is_eligible(self, voter_id: str) -> bool:
+        return voter_id in self._eligible_voters
+
+    # Registration ledger L_R ----------------------------------------------------
+
+    def post_registration(self, record: RegistrationRecord) -> None:
+        """Record a completed check-out; supersedes any prior record for the voter."""
+        if not self.is_eligible(record.voter_id):
+            raise LedgerError(f"voter {record.voter_id} is not on the electoral roll")
+        self.registration_log.append(record.payload())
+        self._registrations.append(record)
+        self._active_registration[record.voter_id] = record
+
+    def registration_for(self, voter_id: str) -> Optional[RegistrationRecord]:
+        """The currently-active registration record for ``voter_id``, if any."""
+        return self._active_registration.get(voter_id)
+
+    def registration_history(self, voter_id: str) -> List[RegistrationRecord]:
+        return [record for record in self._registrations if record.voter_id == voter_id]
+
+    def active_registrations(self) -> List[RegistrationRecord]:
+        """One active record per registered voter (the tally input roster)."""
+        return list(self._active_registration.values())
+
+    @property
+    def num_registered(self) -> int:
+        return len(self._active_registration)
+
+    # Envelope ledger L_E ----------------------------------------------------------
+
+    def post_envelope_commitment(self, record: EnvelopeCommitmentRecord) -> None:
+        self.envelope_log.append(record.payload())
+        self._envelope_commitments[record.challenge_hash] = record
+
+    def envelope_commitment(self, challenge_hash: bytes) -> Optional[EnvelopeCommitmentRecord]:
+        return self._envelope_commitments.get(challenge_hash)
+
+    def post_envelope_usage(self, record: EnvelopeUsageRecord) -> None:
+        """Reveal a consumed challenge at activation time.
+
+        Raises :class:`LedgerError` if the same challenge was already revealed —
+        the duplicate-envelope detection of Appendix F.3.5.
+        """
+        if record.challenge_hash in self._used_challenges:
+            raise LedgerError("envelope challenge already used: possible duplicate envelopes")
+        self.envelope_log.append(record.payload())
+        self._used_challenges[record.challenge_hash] = record
+
+    def is_challenge_used(self, challenge_hash: bytes) -> bool:
+        return challenge_hash in self._used_challenges
+
+    @property
+    def num_envelope_commitments(self) -> int:
+        return len(self._envelope_commitments)
+
+    @property
+    def num_challenges_used(self) -> int:
+        """Aggregate count of activated credentials (what a coercer can see)."""
+        return len(self._used_challenges)
+
+    # Ballot ledger L_V -------------------------------------------------------------
+
+    def post_ballot(self, record: BallotRecord) -> None:
+        self.ballot_log.append(record.payload())
+        self._ballots.append(record)
+
+    def ballots(self, election_id: Optional[str] = None) -> List[BallotRecord]:
+        if election_id is None:
+            return list(self._ballots)
+        return [b for b in self._ballots if b.election_id == election_id]
+
+    @property
+    def num_ballots(self) -> int:
+        return len(self._ballots)
+
+    # Audit ----------------------------------------------------------------------------
+
+    def verify_all_chains(self) -> bool:
+        """Verify the hash chains of all three sub-ledgers."""
+        return (
+            self.registration_log.verify_chain()
+            and self.envelope_log.verify_chain()
+            and self.ballot_log.verify_chain()
+        )

@@ -1,0 +1,40 @@
+"""Simulated kiosk peripherals and hardware profiles.
+
+The paper evaluates TRIP's *voter-observable* latency on four hardware setups
+(§7.1–7.2): a Point-of-Sale kiosk (L1), a Raspberry Pi 4 (L2), a MacBook Pro
+VM (H1) and a Beelink mini-PC (H2), each driving an EPSON receipt printer and
+a Bluetooth barcode/QR scanner.  Since we have none of that hardware, this
+package provides a calibrated simulation:
+
+* :mod:`repro.peripherals.qr` models QR/barcode payloads (capacity, byte
+  size, encode/decode work);
+* :mod:`repro.peripherals.printer` and :mod:`repro.peripherals.scanner` model
+  the mechanical latencies (print time proportional to printed length, the
+  ≈948 ms average QR scan transfer the paper measures);
+* :mod:`repro.peripherals.hardware` defines the L1/L2/H1/H2 profiles with CPU
+  multipliers calibrated so the crypto/QR/print/scan split of Figures 4a/4b
+  is reproduced;
+* :mod:`repro.peripherals.clock` accumulates simulated wall-clock and CPU
+  time per registration phase and component, which is exactly the data the
+  Figure 4 benchmarks need.
+"""
+
+from repro.peripherals.clock import LatencyLedger, Component, TimedSpan
+from repro.peripherals.hardware import HardwareProfile, HARDWARE_PROFILES, hardware_profile
+from repro.peripherals.qr import QRCode, Barcode, qr_version_for
+from repro.peripherals.printer import ReceiptPrinter
+from repro.peripherals.scanner import CodeScanner
+
+__all__ = [
+    "LatencyLedger",
+    "Component",
+    "TimedSpan",
+    "HardwareProfile",
+    "HARDWARE_PROFILES",
+    "hardware_profile",
+    "QRCode",
+    "Barcode",
+    "qr_version_for",
+    "ReceiptPrinter",
+    "CodeScanner",
+]

@@ -1,0 +1,145 @@
+"""Latency accounting for the simulated registration pipeline.
+
+Figure 4 of the paper decomposes each TRIP registration phase (CheckIn,
+Authorization, RealToken, FakeToken, CheckOut, Activation) into four
+components: *Crypto & Logic*, *QR Read/Write*, *QR Scan* and *QR Print*,
+reporting both wall-clock and CPU medians.  The :class:`LatencyLedger`
+collects exactly that decomposition: protocol code opens a phase, and every
+peripheral / crypto call records a :class:`TimedSpan` with its component,
+simulated wall-clock seconds and simulated CPU (user/system) seconds.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+class Component(enum.Enum):
+    """The latency components of Fig. 4."""
+
+    CRYPTO = "Crypto & Logic"
+    QR_READ_WRITE = "QR Read/Write"
+    QR_SCAN = "QR Scan"
+    QR_PRINT = "QR Print"
+
+
+@dataclass(frozen=True)
+class TimedSpan:
+    """One timed operation inside a registration phase."""
+
+    phase: str
+    component: Component
+    wall_seconds: float
+    cpu_user_seconds: float
+    cpu_system_seconds: float
+    label: str = ""
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self.cpu_user_seconds + self.cpu_system_seconds
+
+
+@dataclass
+class LatencyLedger:
+    """Accumulates timed spans and aggregates them per phase/component."""
+
+    spans: List[TimedSpan] = field(default_factory=list)
+    _current_phase: Optional[str] = None
+
+    # Phase management -----------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Scope all spans recorded inside the block to phase ``name``."""
+        previous = self._current_phase
+        self._current_phase = name
+        try:
+            yield
+        finally:
+            self._current_phase = previous
+
+    @property
+    def current_phase(self) -> str:
+        return self._current_phase or "Unscoped"
+
+    # Recording -------------------------------------------------------------------
+
+    def record(
+        self,
+        component: Component,
+        wall_seconds: float,
+        cpu_user_seconds: float = 0.0,
+        cpu_system_seconds: float = 0.0,
+        label: str = "",
+        phase: Optional[str] = None,
+    ) -> TimedSpan:
+        span = TimedSpan(
+            phase=phase or self.current_phase,
+            component=component,
+            wall_seconds=wall_seconds,
+            cpu_user_seconds=cpu_user_seconds,
+            cpu_system_seconds=cpu_system_seconds,
+            label=label,
+        )
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def measure(self, component: Component, label: str = "", cpu_scale: float = 1.0) -> Iterator[None]:
+        """Measure real Python wall-clock/CPU time for the enclosed block.
+
+        ``cpu_scale`` lets hardware profiles slow down the measured crypto time
+        to model weaker CPUs (the L1/L2 devices of the paper).
+        """
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
+        try:
+            yield
+        finally:
+            wall = (time.perf_counter() - wall_start) * cpu_scale
+            cpu = (time.process_time() - cpu_start) * cpu_scale
+            self.record(component, wall, cpu_user_seconds=cpu, label=label)
+
+    # Aggregation -----------------------------------------------------------------
+
+    def wall_by_phase_component(self) -> Dict[str, Dict[Component, float]]:
+        """Total simulated wall-clock seconds per phase and component."""
+        table: Dict[str, Dict[Component, float]] = {}
+        for span in self.spans:
+            table.setdefault(span.phase, {}).setdefault(span.component, 0.0)
+            table[span.phase][span.component] += span.wall_seconds
+        return table
+
+    def cpu_by_phase_component(self) -> Dict[str, Dict[Component, float]]:
+        """Total simulated CPU seconds (user+system) per phase and component."""
+        table: Dict[str, Dict[Component, float]] = {}
+        for span in self.spans:
+            table.setdefault(span.phase, {}).setdefault(span.component, 0.0)
+            table[span.phase][span.component] += span.cpu_seconds
+        return table
+
+    def total_wall_seconds(self) -> float:
+        return sum(span.wall_seconds for span in self.spans)
+
+    def total_cpu_seconds(self) -> float:
+        return sum(span.cpu_seconds for span in self.spans)
+
+    def wall_seconds_for(self, component: Component) -> float:
+        return sum(span.wall_seconds for span in self.spans if span.component == component)
+
+    def phase_wall_seconds(self, phase: str) -> float:
+        return sum(span.wall_seconds for span in self.spans if span.phase == phase)
+
+    def phases(self) -> List[str]:
+        seen: List[str] = []
+        for span in self.spans:
+            if span.phase not in seen:
+                seen.append(span.phase)
+        return seen
+
+    def merge(self, other: "LatencyLedger") -> None:
+        self.spans.extend(other.spans)

@@ -1,0 +1,102 @@
+"""QR-code and barcode payload model.
+
+TRIP materializes protocol messages as machine-readable codes: the check-in
+ticket is a barcode (limited capacity, hence a MAC rather than a signature),
+and the receipt and envelope carry QR codes of 13–356 bytes (§7.2).  We do
+not rasterize actual QR images — the protocol only cares about the payload
+bytes and the code's size class, which drives the print and scan latency
+models — but we do model QR versioning (capacity per version) and perform a
+real encode/decode round-trip (base64 framing with a checksum) so that
+corrupted payloads are detected, mirroring what gozxing does for the Go
+prototype.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass
+
+from repro.crypto.hashing import sha256
+from repro.errors import ProtocolError
+
+# Approximate binary capacity (bytes) of QR versions 1-16 at error-correction
+# level M.  Enough for TRIP's 13-356 byte payloads.
+_QR_CAPACITY_BYTES = [
+    14, 26, 42, 62, 84, 106, 122, 152, 180, 213, 251, 287, 331, 362, 412, 450,
+]
+
+_MAX_BARCODE_BYTES = 48  # Code-128 practical payload limit for a check-in ticket.
+
+
+def qr_version_for(payload_length: int) -> int:
+    """The smallest QR version (1-based) that can hold ``payload_length`` bytes."""
+    for version, capacity in enumerate(_QR_CAPACITY_BYTES, start=1):
+        if payload_length <= capacity:
+            return version
+    raise ProtocolError(f"payload of {payload_length} bytes exceeds supported QR capacity")
+
+
+def _frame(payload: bytes) -> bytes:
+    """Encode payload with a 4-byte checksum, as the wire representation."""
+    return base64.b64encode(sha256(payload)[:4] + payload)
+
+
+def _unframe(data: bytes) -> bytes:
+    raw = base64.b64decode(data, validate=True)
+    checksum, payload = raw[:4], raw[4:]
+    if sha256(payload)[:4] != checksum:
+        raise ProtocolError("QR payload checksum mismatch (scan error or tampering)")
+    return payload
+
+
+@dataclass(frozen=True)
+class QRCode:
+    """A QR code carrying an opaque binary payload."""
+
+    payload: bytes
+    label: str = ""
+
+    @property
+    def version(self) -> int:
+        return qr_version_for(len(self.payload))
+
+    @property
+    def encoded(self) -> bytes:
+        """The framed wire bytes actually transferred by a scanner."""
+        return _frame(self.payload)
+
+    @property
+    def wire_length(self) -> int:
+        return len(self.encoded)
+
+    @classmethod
+    def decode(cls, encoded: bytes, label: str = "") -> "QRCode":
+        """Reconstruct a QR code from scanned wire bytes (checksum-verified)."""
+        return cls(payload=_unframe(encoded), label=label)
+
+
+@dataclass(frozen=True)
+class Barcode:
+    """A 1-D barcode (check-in tickets); much smaller capacity than a QR code."""
+
+    payload: bytes
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > _MAX_BARCODE_BYTES:
+            raise ProtocolError(
+                f"barcode payload of {len(self.payload)} bytes exceeds the "
+                f"{_MAX_BARCODE_BYTES}-byte capacity; use a QR code instead"
+            )
+
+    @property
+    def encoded(self) -> bytes:
+        return _frame(self.payload)
+
+    @property
+    def wire_length(self) -> int:
+        return len(self.encoded)
+
+    @classmethod
+    def decode(cls, encoded: bytes, label: str = "") -> "Barcode":
+        return cls(payload=_unframe(encoded), label=label)

@@ -1,0 +1,113 @@
+"""The voter: envelope choices, credential marking, and what they observe.
+
+The voter in the booth cannot verify any cryptography; what they *can* do —
+and what TRIP's verifiability rests on — is:
+
+* pick envelopes uniformly at random from the booth's supply (choosing the
+  ZKP challenge without having to type a random number, §4.4);
+* for the real credential, wait for the kiosk to print the symbol and only
+  then pick an envelope with a matching symbol;
+* observe whether the kiosk followed the real-credential step order
+  (commit printed before the envelope was requested);
+* privately mark each paper credential so they can later tell which one is
+  real, using a convention only they know.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ProtocolError
+from repro.registration.materials import (
+    CheckInTicket,
+    Envelope,
+    EnvelopeSymbol,
+    PaperCredential,
+    Receipt,
+)
+
+
+@dataclass
+class Voter:
+    """A voter going through TRIP registration."""
+
+    voter_id: str
+    num_fake_credentials: int = 1
+    marking_convention: str = "R"
+    check_in_ticket: Optional[CheckInTicket] = None
+    credentials: List[PaperCredential] = field(default_factory=list)
+    observations: List[str] = field(default_factory=list)
+
+    # Envelope selection -----------------------------------------------------------
+
+    @staticmethod
+    def pick_envelope(supply: Sequence[Envelope], symbol: Optional[EnvelopeSymbol] = None) -> Envelope:
+        """Pick a random envelope, optionally restricted to a matching symbol."""
+        candidates = [e for e in supply if symbol is None or e.symbol == symbol]
+        if not candidates:
+            raise ProtocolError(
+                "no envelope with the required symbol is available in the booth"
+            )
+        return candidates[secrets.randbelow(len(candidates))]
+
+    # Credential handling ------------------------------------------------------------
+
+    def assemble_credential(
+        self,
+        receipt: Receipt,
+        envelope: Envelope,
+        is_real: bool,
+        observed_sound_order: bool,
+    ) -> PaperCredential:
+        """Insert the receipt into the envelope and mark it (Fig. 2c)."""
+        credential = PaperCredential(
+            receipt=receipt,
+            envelope=envelope,
+            is_real=is_real,
+            observed_sound_order=observed_sound_order,
+        )
+        credential.insert_for_transport()
+        marking = self.marking_convention if is_real else f"F{len(self.credentials)}"
+        credential.mark(marking)
+        self.credentials.append(credential)
+        return credential
+
+    def real_credential(self) -> PaperCredential:
+        for credential in self.credentials:
+            if credential.is_real:
+                return credential
+        raise ProtocolError("the voter holds no real credential")
+
+    def fake_credentials(self) -> List[PaperCredential]:
+        return [c for c in self.credentials if not c.is_real]
+
+    def credential_for_check_out(self) -> PaperCredential:
+        """Any credential can be presented at check-out; pick one at random."""
+        if not self.credentials:
+            raise ProtocolError("the voter holds no credentials")
+        return self.credentials[secrets.randbelow(len(self.credentials))]
+
+    # Coercion interface ---------------------------------------------------------------
+
+    def surrender_credentials_to_coercer(self, count: Optional[int] = None) -> List[PaperCredential]:
+        """Hand over credentials to a coercer, keeping the real one secret.
+
+        The voter gives fake credentials (claiming one of them is real); if the
+        coercer demands more credentials than the voter holds fakes, the voter
+        would have created an extra fake during registration — modelled by the
+        caller choosing ``num_fake_credentials`` accordingly.
+        """
+        fakes = [c.coercer_view() for c in self.fake_credentials()]
+        if count is None:
+            return fakes
+        if count > len(fakes):
+            raise ProtocolError(
+                "voter cannot satisfy the demand without surrendering the real credential; "
+                "create more fake credentials at registration time"
+            )
+        return fakes[:count]
+
+    def note(self, observation: str) -> None:
+        self.observations.append(observation)

@@ -1,0 +1,134 @@
+"""Analytic security bounds (Theorem IV, §5.1 / Appendix F.3, and §7.5).
+
+The integrity adversary's only non-negligible avenue is *envelope stuffing*:
+duplicate ``k`` of the ``n_E`` envelopes in the booth with the same challenge
+``e★`` and hope that (a) the voter uses a stuffed envelope for the real
+credential and (b) none of the other envelopes the voter consumes carries
+``e★`` (a duplicate would be caught at activation).  Theorem IV bounds the
+success probability by
+
+    max_k  E_{n_c ~ D_c} [ (k / n_E) · C(n_E − k, n_c − 1) / C(n_E − 1, n_c − 1) ]
+
+where ``n_c`` is the number of credentials (envelopes) the voter consumes.
+This module evaluates the bound exactly, optimizes over ``k``, iterates it
+over ``N`` independent target voters (strong iterative IV), and also provides
+the §7.5 malicious-kiosk detection arithmetic (probability that a kiosk
+misbehaving against every voter survives ``n`` voters undetected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Dict, Mapping, Sequence
+
+
+def _stuffing_success_for_k(num_envelopes: int, k: int, credential_distribution: Mapping[int, float]) -> float:
+    """E_{n_c}[ (k/n_E) · C(n_E−k, n_c−1)/C(n_E−1, n_c−1) ] for a fixed k."""
+    if not 1 <= k <= num_envelopes:
+        raise ValueError("k must be between 1 and the number of envelopes")
+    expectation = 0.0
+    for num_credentials, probability in credential_distribution.items():
+        if num_credentials < 1:
+            raise ValueError("voters create at least one (the real) credential")
+        picked_fake = num_credentials - 1
+        denominator = comb(num_envelopes - 1, picked_fake)
+        if denominator == 0 or num_envelopes - k < picked_fake:
+            conditional = 0.0
+        else:
+            conditional = comb(num_envelopes - k, picked_fake) / denominator
+        expectation += probability * (k / num_envelopes) * conditional
+    return expectation
+
+
+def iv_adversary_success_bound(
+    num_envelopes: int,
+    credential_distribution: Mapping[int, float],
+    return_best_k: bool = False,
+):
+    """The Theorem-IV bound, maximized over the number of stuffed envelopes k.
+
+    ``credential_distribution`` maps "total credentials a voter creates"
+    (n_c ≥ 1) to its probability under D_c.
+    """
+    total = sum(credential_distribution.values())
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError("credential distribution probabilities must sum to 1")
+    best_probability, best_k = 0.0, 1
+    for k in range(1, num_envelopes + 1):
+        probability = _stuffing_success_for_k(num_envelopes, k, credential_distribution)
+        if probability > best_probability:
+            best_probability, best_k = probability, k
+    if return_best_k:
+        return best_probability, best_k
+    return best_probability
+
+
+def iv_success_over_population(
+    num_envelopes: int,
+    credential_distribution: Mapping[int, float],
+    num_target_voters: int,
+) -> float:
+    """Strong iterative IV: probability of fooling *all* of N independent targets.
+
+    Appendix F.3.6: across ``N`` independent target voters the adversary's
+    success probability is ``p_max^N``, which decays geometrically — the
+    formal counterpart of "the probability becomes negligible over repeated
+    attacks against many voters".
+    """
+    single = iv_adversary_success_bound(num_envelopes, credential_distribution)
+    return single ** num_target_voters
+
+
+def kiosk_undetected_probability(per_voter_detection_rate: float, num_voters: int) -> float:
+    """Probability that a misbehaving kiosk escapes detection by every voter.
+
+    §7.5: with a 10 % per-voter detection rate the probability of fooling 50
+    voters undetected is below 1 %, and for 1000 voters about 2^-152.
+    """
+    if not 0.0 <= per_voter_detection_rate <= 1.0:
+        raise ValueError("detection rate must be a probability")
+    return (1.0 - per_voter_detection_rate) ** num_voters
+
+
+@dataclass(frozen=True)
+class DetectionScenario:
+    """A §7.5-style detection scenario for the usability/ablation benches."""
+
+    label: str
+    per_voter_detection_rate: float
+
+    def survival_probability(self, num_voters: int) -> float:
+        return kiosk_undetected_probability(self.per_voter_detection_rate, num_voters)
+
+
+#: The two populations reported in §7.5.
+EDUCATED_VOTERS = DetectionScenario("with security education", 0.47)
+UNEDUCATED_VOTERS = DetectionScenario("without security education", 0.10)
+
+
+def uniform_credential_distribution(max_credentials: int) -> Dict[int, float]:
+    """Voters pick 1..max_credentials total credentials uniformly at random."""
+    if max_credentials < 1:
+        raise ValueError("voters create at least one credential")
+    probability = 1.0 / max_credentials
+    return {count: probability for count in range(1, max_credentials + 1)}
+
+
+def geometric_credential_distribution(mean_fakes: float, cutoff: int = 12) -> Dict[int, float]:
+    """A geometric model of how many fake credentials voters create.
+
+    ``n_c = 1 + F`` with ``F`` geometric of mean ``mean_fakes`` truncated at
+    ``cutoff``; a reasonable stand-in for D_c when sweeping the IV bound.
+    """
+    if mean_fakes < 0:
+        raise ValueError("mean number of fakes cannot be negative")
+    success = 1.0 / (1.0 + mean_fakes)
+    distribution: Dict[int, float] = {}
+    remaining = 1.0
+    for fakes in range(cutoff):
+        probability = success * (1 - success) ** fakes
+        distribution[1 + fakes] = probability
+        remaining -= probability
+    distribution[1 + cutoff] = max(remaining, 0.0)
+    return distribution

@@ -1,0 +1,198 @@
+"""Executable security games (Appendix F), run against the real implementation.
+
+* :class:`IndividualVerifiabilityGame` — the envelope-stuffing game behind
+  Theorem IV: a corrupted registrar duplicates ``k`` envelope challenges and
+  wins if the voter's real credential uses a stuffed envelope while none of
+  the voter's other envelopes repeats the stuffed challenge (a repeat is
+  caught by the activation-time duplicate check).  The Monte-Carlo win rate
+  is compared against the analytic bound in the tests.
+* :class:`CoercionResistanceExperiment` — the real-vs-ideal comparison behind
+  Theorem 2, instantiated empirically: a coercer targets one voter, demands a
+  vote and the voter's credentials, and must guess from its full view
+  (credentials, ledger aggregates, tally) whether the voter complied or
+  secretly cast their real vote.  Because real and fake credentials are
+  indistinguishable and the ledger only leaks aggregates, the measured
+  advantage stays at the statistical-noise level.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.crypto.group import Group
+from repro.election.config import ElectionConfig
+from repro.election.pipeline import VotegralElection
+from repro.security.adversary import Coercer, CoercionDemand
+from repro.security.analysis import iv_adversary_success_bound
+
+
+# ---------------------------------------------------------------------------
+# Game IV (individual verifiability / envelope stuffing)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IVGameResult:
+    """Monte-Carlo outcome of the envelope-stuffing game."""
+
+    trials: int
+    adversary_wins: int
+    duplicates_detected: int
+    analytic_bound: float
+
+    @property
+    def empirical_rate(self) -> float:
+        return self.adversary_wins / self.trials if self.trials else 0.0
+
+
+@dataclass
+class IndividualVerifiabilityGame:
+    """The envelope-stuffing game of Appendix F.3, simulated combinatorially.
+
+    The game abstracts the booth to its combinatorics (which is all the
+    adversary controls): ``num_envelopes`` envelopes of which ``stuffed`` share
+    one challenge, and a voter who draws ``num_credentials`` envelopes
+    uniformly without replacement, using the first draw for the real
+    credential.  The adversary wins if the real draw is stuffed and no other
+    draw is stuffed; if two draws are stuffed the duplicate check at
+    activation exposes the attack.
+    """
+
+    num_envelopes: int
+    stuffed: int
+    credential_distribution: Dict[int, float]
+
+    def _sample_num_credentials(self) -> int:
+        roll = secrets.randbelow(10**9) / 10**9
+        cumulative = 0.0
+        for count, probability in sorted(self.credential_distribution.items()):
+            cumulative += probability
+            if roll <= cumulative:
+                return count
+        return max(self.credential_distribution)
+
+    def play_once(self) -> str:
+        """One game: returns 'win', 'detected' or 'lose' for the adversary."""
+        num_credentials = self._sample_num_credentials()
+        # Envelope indices < stuffed carry the duplicated challenge.
+        available = list(range(self.num_envelopes))
+        draws: List[int] = []
+        for _ in range(min(num_credentials, self.num_envelopes)):
+            index = secrets.randbelow(len(available))
+            draws.append(available.pop(index))
+        stuffed_draws = [draw for draw in draws if draw < self.stuffed]
+        if len(stuffed_draws) >= 2:
+            return "detected"
+        real_draw = draws[0]
+        if real_draw < self.stuffed and len(stuffed_draws) == 1:
+            return "win"
+        return "lose"
+
+    def run(self, trials: int = 10_000) -> IVGameResult:
+        wins = detected = 0
+        for _ in range(trials):
+            outcome = self.play_once()
+            if outcome == "win":
+                wins += 1
+            elif outcome == "detected":
+                detected += 1
+        bound = iv_adversary_success_bound(self.num_envelopes, self.credential_distribution)
+        return IVGameResult(
+            trials=trials,
+            adversary_wins=wins,
+            duplicates_detected=detected,
+            analytic_bound=bound,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Coercion-resistance experiment (real vs ideal)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoercionTrialView:
+    """Everything the coercer sees in one trial."""
+
+    surrendered_credentials: int
+    ledger_aggregates: Dict[str, int]
+    tally_counts: Dict[int, int]
+
+
+@dataclass
+class CoercionResistanceExperiment:
+    """An empirical real-game instantiation of the C-Resist comparison.
+
+    For each trial a fresh small election runs with one coerced target voter.
+    A hidden bit ``b`` decides whether the target complies (only casts the
+    coercer's vote) or evades (additionally casts their real vote in secret).
+    The coercer receives its full view and a guessing strategy; the measured
+    advantage ``|P[guess=b] − 1/2|`` should be explained entirely by the
+    statistical uncertainty of the honest voters' behaviour (the ideal game's
+    residual), not by anything TRIP leaks.
+    """
+
+    num_voters: int = 6
+    num_options: int = 2
+    demanded_vote: int = 0
+    demanded_fakes: int = 1
+    group_factory: Optional[Callable[[], Group]] = None
+
+    def _run_trial(self, comply: bool, guess_strategy: Callable[[CoercionTrialView], bool]) -> bool:
+        config = ElectionConfig(
+            num_voters=self.num_voters,
+            num_options=self.num_options,
+            proof_rounds=2,
+            num_mixers=2,
+            fake_credentials_per_voter=self.demanded_fakes,
+        )
+        if self.group_factory is not None:
+            config.group_factory = self.group_factory
+        election = VotegralElection(config)
+        election.run_setup()
+        election.run_registration()
+
+        target_id = config.voter_ids()[0]
+        coercer = Coercer(CoercionDemand(self.demanded_fakes, self.demanded_vote))
+
+        # The target hands over credentials (fakes posing as the full set).
+        target_outcome = election.outcomes[0]
+        coercer.collect_credentials(target_outcome.voter)
+
+        # Voting: the target visibly casts the demanded vote with a fake
+        # credential; if evading, they also cast their real vote in secret.
+        target_client = election.clients[target_id]
+        coercer.supervise_vote(target_client, self.num_options)
+        if not comply:
+            secret_choice = 1 - self.demanded_vote if self.num_options == 2 else (self.demanded_vote + 1) % self.num_options
+            target_client.cast_real(secret_choice, self.num_options)
+
+        # Honest voters vote their own way.
+        for voter_id in config.voter_ids()[1:]:
+            election.clients[voter_id].cast_real(secrets.randbelow(self.num_options), self.num_options)
+
+        result = election.run_tally(verify=False)
+        view = CoercionTrialView(
+            surrendered_credentials=len(coercer.surrendered),
+            ledger_aggregates=coercer.ledger_view(election.setup.board),
+            tally_counts=result.counts,
+        )
+        guess_comply = guess_strategy(view)
+        return guess_comply == comply
+
+    def run(
+        self,
+        trials: int = 20,
+        guess_strategy: Optional[Callable[[CoercionTrialView], bool]] = None,
+    ) -> float:
+        """Return the coercer's empirical advantage ``|success − 1/2|``."""
+        strategy = guess_strategy or (lambda view: secrets.randbelow(2) == 1)
+        correct = 0
+        for trial in range(trials):
+            comply = trial % 2 == 0
+            if self._run_trial(comply, strategy):
+                correct += 1
+        success_rate = correct / trials
+        return abs(success_rate - 0.5)

@@ -1,0 +1,43 @@
+"""Threshold decryption of the surviving vote ciphertexts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.crypto.dkg import DistributedKeyGeneration
+from repro.crypto.elgamal import ElGamalCiphertext
+from repro.errors import TallyError
+
+
+@dataclass(frozen=True)
+class DecryptedVote:
+    """One decrypted ballot: the candidate index it encodes."""
+
+    choice: int
+
+
+def decrypt_votes(
+    dkg: DistributedKeyGeneration,
+    ciphertexts: Sequence[ElGamalCiphertext],
+    num_options: int,
+    verify: bool = True,
+) -> List[DecryptedVote]:
+    """Jointly decrypt the counted ballots (exponential ElGamal decode)."""
+    votes: List[DecryptedVote] = []
+    for ciphertext in ciphertexts:
+        plaintext = dkg.decrypt(ciphertext, verify=verify)
+        try:
+            choice = dkg.group.decode_int(plaintext, max_value=num_options - 1)
+        except ValueError as exc:
+            raise TallyError("a counted ballot does not encode a valid candidate") from exc
+        votes.append(DecryptedVote(choice=choice))
+    return votes
+
+
+def aggregate(votes: Sequence[DecryptedVote], num_options: int) -> Dict[int, int]:
+    """Per-candidate totals."""
+    counts = {option: 0 for option in range(num_options)}
+    for vote in votes:
+        counts[vote.choice] += 1
+    return counts

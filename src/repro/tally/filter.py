@@ -1,0 +1,90 @@
+"""Ballot filtering: duplicate removal and blinded-tag matching.
+
+Votegral's filtering is linear in the number of ballots (§7.4): rather than
+pairwise plaintext-equivalence tests (Civitas), both the mixed ballots and the
+mixed registration tags are reduced to *deterministic blinded tags*
+(:mod:`repro.crypto.tagging`) and joined on the tag value.  A ballot survives
+iff its blinded credential tag equals the blinded tag of some active
+registration record — which by construction happens exactly for ballots cast
+with real credentials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.crypto.dkg import DistributedKeyGeneration
+from repro.crypto.elgamal import ElGamalCiphertext
+from repro.crypto.group import GroupElement
+from repro.crypto.tagging import TaggingAuthority
+from repro.ledger.bulletin_board import BallotRecord
+
+
+@dataclass(frozen=True)
+class FilterResult:
+    """The outcome of tag-based filtering on mixed ballot pairs."""
+
+    counted: List[ElGamalCiphertext]       # vote ciphertexts that will be decrypted
+    discarded: int                          # ballots whose tag matched no registration
+    duplicate_tags: int                     # extra ballots beyond one per registration tag
+    registration_tags: List[bytes]          # blinded registration tags (for audit)
+    ballot_tags: List[bytes]                # blinded ballot tags (for audit)
+
+
+def deduplicate_ballots(records: Sequence[BallotRecord]) -> List[BallotRecord]:
+    """Keep only the most recent ballot per credential public key.
+
+    Ledger order is submission order, so "last write wins" — a voter who
+    revises their vote with the same credential replaces the earlier ballot.
+    """
+    latest: Dict[bytes, BallotRecord] = {}
+    for record in records:
+        latest[record.credential_public_key.to_bytes()] = record
+    return list(latest.values())
+
+
+def filter_ballots(
+    dkg: DistributedKeyGeneration,
+    tagging: TaggingAuthority,
+    mixed_pairs: Sequence[Tuple[ElGamalCiphertext, ElGamalCiphertext]],
+    mixed_registration_tags: Sequence[ElGamalCiphertext],
+    verify: bool = True,
+) -> FilterResult:
+    """Match mixed ballots against mixed registration tags.
+
+    ``mixed_pairs`` holds (encrypted vote, encrypted credential key) after the
+    mix cascade; ``mixed_registration_tags`` holds the mixed ``c_pc``
+    ciphertexts from the registration ledger.  Both sides are raised to the
+    tagging exponent and threshold-decrypted to blinded tags; the join keeps
+    at most one ballot per registration tag.
+    """
+    registration_tags: List[bytes] = []
+    for ciphertext in mixed_registration_tags:
+        tag = tagging.blind_and_decrypt(dkg, ciphertext, verify=verify)
+        registration_tags.append(tag.to_bytes())
+
+    counted: List[ElGamalCiphertext] = []
+    ballot_tags: List[bytes] = []
+    discarded = 0
+    duplicate_tags = 0
+    remaining = set(registration_tags)
+    for vote_ciphertext, credential_ciphertext in mixed_pairs:
+        tag = tagging.blind_and_decrypt(dkg, credential_ciphertext, verify=verify)
+        tag_bytes = tag.to_bytes()
+        ballot_tags.append(tag_bytes)
+        if tag_bytes in remaining:
+            counted.append(vote_ciphertext)
+            remaining.discard(tag_bytes)
+        elif tag_bytes in registration_tags:
+            duplicate_tags += 1
+        else:
+            discarded += 1
+
+    return FilterResult(
+        counted=counted,
+        discarded=discarded,
+        duplicate_tags=duplicate_tags,
+        registration_tags=registration_tags,
+        ballot_tags=ballot_tags,
+    )

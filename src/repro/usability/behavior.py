@@ -1,0 +1,72 @@
+"""Voter behaviour profiles for the usability simulation."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class BehaviorProfile:
+    """Per-voter behavioural rates, taken from the paper where published.
+
+    * ``registration_success_rate`` — fraction of participants who created and
+      used their real credential to cast a mock vote (83 % in the main study);
+    * ``detection_rate_educated`` / ``detection_rate_uneducated`` — fraction
+      who identified and reported a misbehaving kiosk with / without security
+      education (47 % / 10 %);
+    * ``sus_mean`` / ``sus_std`` — System Usability Scale score distribution
+    * ``mean_fake_credentials`` — how many fake credentials voters choose to
+      create (not published per-voter; defaults to one, the scripted setup).
+    """
+
+    registration_success_rate: float = 0.83
+    detection_rate_educated: float = 0.47
+    detection_rate_uneducated: float = 0.10
+    sus_mean: float = 70.4
+    sus_std: float = 16.0
+    mean_fake_credentials: float = 1.0
+
+
+PUBLISHED_STUDY = BehaviorProfile()
+
+
+@dataclass
+class VoterBehaviorModel:
+    """Samples individual voter behaviour from a :class:`BehaviorProfile`."""
+
+    profile: BehaviorProfile = PUBLISHED_STUDY
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def completes_registration(self) -> bool:
+        """Does this participant complete registration and cast a mock vote?"""
+        return self._rng.random() < self.profile.registration_success_rate
+
+    def detects_malicious_kiosk(self, educated: bool) -> bool:
+        """Does this participant notice and report the wrong step order?"""
+        rate = (
+            self.profile.detection_rate_educated
+            if educated
+            else self.profile.detection_rate_uneducated
+        )
+        return self._rng.random() < rate
+
+    def sus_score(self) -> float:
+        """A System Usability Scale response (clamped to the 0-100 scale)."""
+        score = self._rng.gauss(self.profile.sus_mean, self.profile.sus_std)
+        return min(100.0, max(0.0, score))
+
+    def num_fake_credentials(self) -> int:
+        """How many fake credentials this voter creates (geometric, mean as configured)."""
+        mean = self.profile.mean_fake_credentials
+        if mean <= 0:
+            return 0
+        p = 1.0 / (1.0 + mean)
+        count = 0
+        while self._rng.random() > p and count < 10:
+            count += 1
+        return count

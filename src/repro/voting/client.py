@@ -1,0 +1,108 @@
+"""The voting client running on a voter's device.
+
+The client holds activated credentials (real and fake), forms ballots with
+:func:`repro.voting.ballot.make_ballot`, posts them to the ballot ledger, and
+keeps the optional voting-history record discussed in §4.5 / Appendix C.1
+(viewing past votes does not break coercion resistance because the history of
+a fake credential is itself fake).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.crypto.group import Group, GroupElement
+from repro.crypto.schnorr import SigningKeyPair
+from repro.errors import ProtocolError
+from repro.ledger.bulletin_board import BulletinBoard
+from repro.registration.materials import ActivatedCredential
+from repro.voting.ballot import Ballot, make_ballot
+
+
+@dataclass(frozen=True)
+class VotingHistoryEntry:
+    """One remembered vote (credential fingerprint, election, choice)."""
+
+    election_id: str
+    credential_public_key: GroupElement
+    choice: int
+    was_real_credential: bool
+
+
+@dataclass
+class VotingClient:
+    """A voter's device during the voting phase."""
+
+    group: Group
+    board: BulletinBoard
+    authority_public_key: GroupElement
+    credentials: List[ActivatedCredential] = field(default_factory=list)
+    history: List[VotingHistoryEntry] = field(default_factory=list)
+
+    def add_credential(self, credential: ActivatedCredential) -> None:
+        self.credentials.append(credential)
+
+    def real_credential(self) -> ActivatedCredential:
+        for credential in self.credentials:
+            if credential.is_real:
+                return credential
+        raise ProtocolError("no real credential is activated on this device")
+
+    def fake_credentials(self) -> List[ActivatedCredential]:
+        return [c for c in self.credentials if not c.is_real]
+
+    # Casting --------------------------------------------------------------------
+
+    def cast(
+        self,
+        choice: int,
+        num_options: int,
+        credential: Optional[ActivatedCredential] = None,
+        election_id: str = "default",
+    ) -> Ballot:
+        """Cast a ballot with the given credential (default: the real one)."""
+        credential = credential if credential is not None else self.real_credential()
+        keypair = SigningKeyPair(secret=credential.secret_key, public=credential.public_key)
+        ballot = make_ballot(
+            self.group,
+            self.authority_public_key,
+            keypair,
+            choice,
+            num_options,
+            election_id=election_id,
+        )
+        self.board.post_ballot(ballot.to_record())
+        self.history.append(
+            VotingHistoryEntry(
+                election_id=election_id,
+                credential_public_key=credential.public_key,
+                choice=choice,
+                was_real_credential=credential.is_real,
+            )
+        )
+        return ballot
+
+    def cast_real(self, choice: int, num_options: int, election_id: str = "default") -> Ballot:
+        """Cast the voter's intended (counting) vote."""
+        return self.cast(choice, num_options, credential=self.real_credential(), election_id=election_id)
+
+    def cast_fake(
+        self,
+        choice: int,
+        num_options: int,
+        index: int = 0,
+        election_id: str = "default",
+    ) -> Ballot:
+        """Cast a decoy vote under a coercer's supervision."""
+        fakes = self.fake_credentials()
+        if not fakes:
+            raise ProtocolError("no fake credential is activated on this device")
+        return self.cast(choice, num_options, credential=fakes[index % len(fakes)], election_id=election_id)
+
+    # History (§4.5 extension) ------------------------------------------------------
+
+    def voting_history(self, election_id: Optional[str] = None) -> List[VotingHistoryEntry]:
+        if election_id is None:
+            return list(self.history)
+        return [entry for entry in self.history if entry.election_id == election_id]

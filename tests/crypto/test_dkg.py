@@ -1,0 +1,74 @@
+"""Distributed key generation and threshold decryption."""
+
+import pytest
+
+from repro.crypto.dkg import DistributedKeyGeneration
+from repro.crypto.elgamal import ElGamal
+from repro.errors import VerificationError
+
+
+class TestKeyGeneration:
+    def test_collective_key_is_product_of_member_keys(self, group):
+        dkg = DistributedKeyGeneration.run(group, 4)
+        product = group.identity
+        for member in dkg.members:
+            product = product * member.public
+        assert product == dkg.public_key
+
+    def test_collective_secret_matches_public_key(self, group):
+        dkg = DistributedKeyGeneration.run(group, 3)
+        assert group.power(dkg.collective_secret()) == dkg.public_key
+
+    def test_single_member_degenerates_to_plain_keypair(self, group):
+        dkg = DistributedKeyGeneration.run(group, 1)
+        assert dkg.num_members == 1
+        assert dkg.public_key == dkg.members[0].public
+
+    def test_zero_members_rejected(self, group):
+        with pytest.raises(ValueError):
+            DistributedKeyGeneration.run(group, 0)
+
+    def test_members_hold_backup_shares(self, group):
+        dkg = DistributedKeyGeneration.run(group, 4, threshold=3)
+        for member in dkg.members:
+            assert len(member.backup_shares) == 4
+
+
+class TestThresholdDecryption:
+    def test_joint_decryption(self, group, elgamal):
+        dkg = DistributedKeyGeneration.run(group, 4)
+        message = group.power(55)
+        assert dkg.decrypt(elgamal.encrypt(dkg.public_key, message)) == message
+
+    def test_decrypt_int(self, group, elgamal):
+        dkg = DistributedKeyGeneration.run(group, 3)
+        ciphertext = elgamal.encrypt_int(dkg.public_key, 12)
+        assert dkg.decrypt_int(ciphertext, max_value=20) == 12
+
+    def test_partial_member_set_rejected(self, group, elgamal):
+        dkg = DistributedKeyGeneration.run(group, 3)
+        ciphertext = elgamal.encrypt(dkg.public_key, group.power(2))
+        with pytest.raises(VerificationError):
+            dkg.decrypt(ciphertext, participating=[1, 2])
+
+    def test_unknown_member_index_rejected(self, group, elgamal):
+        dkg = DistributedKeyGeneration.run(group, 3)
+        ciphertext = elgamal.encrypt(dkg.public_key, group.power(2))
+        with pytest.raises(ValueError):
+            dkg.decrypt(ciphertext, participating=[1, 2, 9])
+
+    def test_no_single_member_can_decrypt(self, group, elgamal):
+        """Privacy: each member's secret alone does not decrypt (Appendix F.2)."""
+        dkg = DistributedKeyGeneration.run(group, 4)
+        message = group.power(3)
+        ciphertext = elgamal.encrypt(dkg.public_key, message)
+        for member in dkg.members:
+            assert elgamal.decrypt(member.secret, ciphertext) != message
+
+    def test_all_but_one_members_cannot_decrypt(self, group, elgamal):
+        """The paper's privacy adversary compromises n_A − 1 members and still fails."""
+        dkg = DistributedKeyGeneration.run(group, 4)
+        message = group.power(3)
+        ciphertext = elgamal.encrypt(dkg.public_key, message)
+        partial_secret = sum(m.secret for m in dkg.members[:-1]) % group.order
+        assert elgamal.decrypt(partial_secret, ciphertext) != message

@@ -1,0 +1,45 @@
+"""Schnorr proofs of knowledge of a discrete log."""
+
+import pytest
+
+from repro.crypto.dlog_proof import DlogProof, prove_dlog, verify_dlog
+
+
+class TestDlogProof:
+    def test_valid_proof_verifies(self, group):
+        witness = group.random_scalar()
+        assert verify_dlog(prove_dlog(group.generator, witness))
+
+    def test_value_matches_witness(self, group):
+        witness = 4321
+        proof = prove_dlog(group.generator, witness)
+        assert proof.value == group.power(witness)
+
+    def test_context_binding(self, group):
+        proof = prove_dlog(group.generator, group.random_scalar(), context=b"ballot")
+        assert verify_dlog(proof, context=b"ballot")
+        assert not verify_dlog(proof, context=b"other")
+
+    def test_non_generator_base(self, group):
+        base = group.hash_to_element(b"independent")
+        proof = prove_dlog(base, group.random_scalar())
+        assert verify_dlog(proof)
+
+    def test_tampered_value_rejected(self, group):
+        proof = prove_dlog(group.generator, group.random_scalar())
+        forged = DlogProof(proof.base, group.power(1), proof.commitment, proof.response)
+        assert not verify_dlog(forged)
+
+    def test_tampered_response_rejected(self, group):
+        proof = prove_dlog(group.generator, group.random_scalar())
+        forged = DlogProof(proof.base, proof.value, proof.commitment, (proof.response + 1) % group.order)
+        assert not verify_dlog(forged)
+
+    def test_deterministic_with_fixed_nonce(self, group):
+        a = prove_dlog(group.generator, 7, nonce=13)
+        b = prove_dlog(group.generator, 7, nonce=13)
+        assert a == b
+
+    def test_serialization_is_stable(self, group):
+        proof = prove_dlog(group.generator, 7, nonce=13)
+        assert proof.to_bytes() == prove_dlog(group.generator, 7, nonce=13).to_bytes()

@@ -1,0 +1,70 @@
+"""Tests specific to the Edwards25519 backend."""
+
+import pytest
+
+from repro.crypto.ed25519 import Ed25519Element, ed25519_group, _BASE_X, _BASE_Y, _P, _Q
+
+
+class TestCurveConstants:
+    def test_base_point_on_curve(self):
+        d = (-121665 * pow(121666, -1, _P)) % _P
+        x, y = _BASE_X, _BASE_Y
+        lhs = (-x * x + y * y) % _P
+        rhs = (1 + d * x * x * y * y) % _P
+        assert lhs == rhs
+
+    def test_order_is_prime_sized(self):
+        assert _Q.bit_length() == 253
+
+    def test_base_point_has_prime_order(self):
+        group = ed25519_group()
+        assert group.generator ** _Q == group.identity
+        assert group.generator ** 1 != group.identity
+
+
+class TestEncoding:
+    def test_encoding_is_32_bytes(self):
+        group = ed25519_group()
+        assert len(group.generator.to_bytes()) == 32
+
+    def test_known_base_point_encoding(self):
+        # RFC 8032: the standard base point encodes to 0x58666666...66 (y = 4/5).
+        group = ed25519_group()
+        encoded = group.generator.to_bytes()
+        assert encoded.hex() == "5866666666666666666666666666666666666666666666666666666666666666"
+
+    def test_decode_rejects_wrong_length(self):
+        group = ed25519_group()
+        with pytest.raises(ValueError):
+            group.element_from_bytes(b"\x01" * 31)
+
+    def test_decode_rejects_out_of_range_coordinate(self):
+        group = ed25519_group()
+        # y = 2^255 - 19 equals the field prime and is therefore invalid.
+        bad = (2**255 - 19).to_bytes(32, "little")
+        with pytest.raises(ValueError):
+            group.element_from_bytes(bad)
+
+    def test_negation_flips_sign_bit_only(self):
+        group = ed25519_group()
+        point = group.power(12345)
+        negated = point.inverse()
+        assert point.to_bytes()[:31] == negated.to_bytes()[:31]
+        assert point.to_bytes() != negated.to_bytes()
+
+
+class TestSubgroup:
+    def test_hash_to_element_lands_in_prime_subgroup(self):
+        group = ed25519_group()
+        element = group.hash_to_element(b"independent generator")
+        assert element ** _Q == group.identity
+        assert element != group.identity
+
+    def test_identity_encoding_roundtrip(self):
+        group = ed25519_group()
+        assert group.element_from_bytes(group.identity.to_bytes()) == group.identity
+
+    def test_scalar_multiplication_matches_addition(self):
+        group = ed25519_group()
+        g = group.generator
+        assert g ** 5 == g * g * g * g * g

@@ -1,0 +1,117 @@
+"""Tests of the abstract group API across backends."""
+
+import pytest
+
+from repro.crypto.ed25519 import ed25519_group
+from repro.crypto.modp_group import modp_group_256, testing_group
+
+
+BACKENDS = [testing_group, modp_group_256, ed25519_group]
+
+
+@pytest.fixture(params=BACKENDS, ids=lambda f: f.__name__)
+def any_group(request):
+    return request.param()
+
+
+class TestGroupAlgebra:
+    def test_generator_has_declared_order(self, any_group):
+        assert any_group.generator ** any_group.order == any_group.identity
+
+    def test_identity_is_neutral(self, any_group):
+        element = any_group.power(any_group.random_scalar())
+        assert element * any_group.identity == element
+        assert any_group.identity * element == element
+
+    def test_associativity(self, any_group):
+        a = any_group.power(any_group.random_scalar())
+        b = any_group.power(any_group.random_scalar())
+        c = any_group.power(any_group.random_scalar())
+        assert (a * b) * c == a * (b * c)
+
+    def test_inverse(self, any_group):
+        element = any_group.power(any_group.random_scalar())
+        assert element * element.inverse() == any_group.identity
+
+    def test_exponent_addition(self, any_group):
+        a, b = any_group.random_scalar(), any_group.random_scalar()
+        assert any_group.power(a) * any_group.power(b) == any_group.power((a + b) % any_group.order)
+
+    def test_exponent_zero_gives_identity(self, any_group):
+        element = any_group.power(any_group.random_scalar())
+        assert element ** 0 == any_group.identity
+
+    def test_division_operator(self, any_group):
+        a = any_group.power(5)
+        b = any_group.power(3)
+        assert a / b == any_group.power(2)
+
+    def test_diffie_hellman_commutes(self, any_group):
+        a, b = any_group.random_scalar(), any_group.random_scalar()
+        assert (any_group.power(a)) ** b == (any_group.power(b)) ** a
+
+
+class TestEncoding:
+    def test_roundtrip(self, any_group):
+        element = any_group.power(any_group.random_scalar())
+        assert any_group.element_from_bytes(element.to_bytes()) == element
+
+    def test_encoding_is_canonical(self, any_group):
+        scalar = any_group.random_scalar()
+        first = any_group.power(scalar).to_bytes()
+        second = any_group.power(scalar).to_bytes()
+        assert first == second
+
+    def test_identity_roundtrip(self, any_group):
+        assert any_group.element_from_bytes(any_group.identity.to_bytes()) == any_group.identity
+
+    def test_hash_to_element_is_deterministic(self, any_group):
+        assert any_group.hash_to_element(b"seed") == any_group.hash_to_element(b"seed")
+
+    def test_hash_to_element_differs_by_input(self, any_group):
+        assert any_group.hash_to_element(b"a") != any_group.hash_to_element(b"b")
+
+
+class TestScalars:
+    def test_random_scalar_in_range(self, any_group):
+        for _ in range(20):
+            scalar = any_group.random_scalar()
+            assert 1 <= scalar < any_group.order
+
+    def test_hash_to_scalar_deterministic(self, any_group):
+        assert any_group.hash_to_scalar(b"x", b"y") == any_group.hash_to_scalar(b"x", b"y")
+
+    def test_hash_to_scalar_length_prefixing(self, any_group):
+        # (b"ab", b"c") must not collide with (b"a", b"bc").
+        assert any_group.hash_to_scalar(b"ab", b"c") != any_group.hash_to_scalar(b"a", b"bc")
+
+
+class TestIntegerEncoding:
+    def test_encode_decode_roundtrip(self, group):
+        for value in [0, 1, 2, 17, 255]:
+            assert group.decode_int(group.encode_int(value), max_value=300) == value
+
+    def test_decode_out_of_range_raises(self, group):
+        element = group.encode_int(50)
+        with pytest.raises(ValueError):
+            group.decode_int(element, max_value=10)
+
+    def test_encode_negative_raises(self, group):
+        with pytest.raises(ValueError):
+            group.encode_int(-1)
+
+    def test_homomorphic_addition_in_exponent(self, group):
+        assert group.encode_int(3) * group.encode_int(4) == group.encode_int(7)
+
+
+class TestMultiExponentiation:
+    def test_matches_naive_product(self, group):
+        bases = [group.power(group.random_scalar()) for _ in range(4)]
+        scalars = [group.random_scalar() for _ in range(4)]
+        expected = group.identity
+        for base, scalar in zip(bases, scalars):
+            expected = expected * (base ** scalar)
+        assert group.multi_exponentiate(bases, scalars) == expected
+
+    def test_empty_product_is_identity(self, group):
+        assert group.multi_exponentiate([], []) == group.identity

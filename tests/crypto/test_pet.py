@@ -1,0 +1,62 @@
+"""Plaintext-equivalence tests (the Civitas/JCJ filtering primitive)."""
+
+import pytest
+
+from repro.crypto.elgamal import ElGamalCiphertext
+from repro.crypto.pet import (
+    pet_contribution,
+    plaintext_equivalence_test,
+    verify_pet_contribution,
+)
+
+
+class TestPet:
+    def test_equal_plaintexts_detected(self, group, elgamal, dkg):
+        message = group.power(5)
+        a = elgamal.encrypt(dkg.public_key, message)
+        b = elgamal.encrypt(dkg.public_key, message)
+        assert plaintext_equivalence_test(dkg, a, b).equal
+
+    def test_unequal_plaintexts_detected(self, group, elgamal, dkg):
+        a = elgamal.encrypt(dkg.public_key, group.power(5))
+        b = elgamal.encrypt(dkg.public_key, group.power(6))
+        assert not plaintext_equivalence_test(dkg, a, b).equal
+
+    def test_pet_does_not_reveal_plaintexts(self, group, elgamal, dkg):
+        """The blinded quotient decrypts to the identity or to a random element,
+        never to either plaintext."""
+        a = elgamal.encrypt(dkg.public_key, group.power(5))
+        b = elgamal.encrypt(dkg.public_key, group.power(6))
+        result = plaintext_equivalence_test(dkg, a, b)
+        combined = None
+        for contribution in result.contributions:
+            combined = contribution.blinded if combined is None else combined.multiply(contribution.blinded)
+        plaintext = dkg.decrypt(combined)
+        assert plaintext not in (group.power(5), group.power(6))
+
+    def test_ciphertext_equal_to_itself(self, group, elgamal, dkg):
+        a = elgamal.encrypt(dkg.public_key, group.power(9))
+        assert plaintext_equivalence_test(dkg, a, a).equal
+
+    def test_contribution_count_matches_members(self, group, elgamal, dkg):
+        a = elgamal.encrypt(dkg.public_key, group.power(1))
+        b = elgamal.encrypt(dkg.public_key, group.power(1))
+        result = plaintext_equivalence_test(dkg, a, b)
+        assert len(result.contributions) == dkg.num_members
+
+
+class TestPetContribution:
+    def test_contribution_verifies(self, group, elgamal, dkg):
+        a = elgamal.encrypt(dkg.public_key, group.power(2))
+        b = elgamal.encrypt(dkg.public_key, group.power(3))
+        quotient = ElGamalCiphertext(a.c1 * b.c1.inverse(), a.c2 * b.c2.inverse())
+        contribution = pet_contribution(quotient, group.random_scalar())
+        assert verify_pet_contribution(quotient, contribution)
+
+    def test_contribution_against_wrong_quotient_fails(self, group, elgamal, dkg):
+        a = elgamal.encrypt(dkg.public_key, group.power(2))
+        b = elgamal.encrypt(dkg.public_key, group.power(3))
+        quotient = ElGamalCiphertext(a.c1 * b.c1.inverse(), a.c2 * b.c2.inverse())
+        other = ElGamalCiphertext(a.c1, a.c2)
+        contribution = pet_contribution(quotient, group.random_scalar())
+        assert not verify_pet_contribution(other, contribution)

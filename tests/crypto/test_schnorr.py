@@ -1,0 +1,85 @@
+"""Schnorr signatures."""
+
+import pytest
+
+from repro.crypto.ed25519 import ed25519_group
+from repro.crypto.schnorr import (
+    SchnorrSignature,
+    public_key_from_secret,
+    schnorr_keygen,
+    schnorr_sign,
+    schnorr_verify,
+)
+
+
+class TestSignVerify:
+    def test_valid_signature_verifies(self, group):
+        keys = schnorr_keygen(group)
+        signature = schnorr_sign(keys, b"register alice")
+        assert schnorr_verify(keys.public, b"register alice", signature)
+
+    def test_wrong_message_rejected(self, group):
+        keys = schnorr_keygen(group)
+        signature = schnorr_sign(keys, b"register alice")
+        assert not schnorr_verify(keys.public, b"register bob", signature)
+
+    def test_wrong_key_rejected(self, group):
+        keys = schnorr_keygen(group)
+        other = schnorr_keygen(group)
+        signature = schnorr_sign(keys, b"msg")
+        assert not schnorr_verify(other.public, b"msg", signature)
+
+    def test_tampered_response_rejected(self, group):
+        keys = schnorr_keygen(group)
+        signature = schnorr_sign(keys, b"msg")
+        forged = SchnorrSignature(signature.commitment, (signature.response + 1) % group.order)
+        assert not schnorr_verify(keys.public, b"msg", forged)
+
+    def test_tampered_commitment_rejected(self, group):
+        keys = schnorr_keygen(group)
+        signature = schnorr_sign(keys, b"msg")
+        forged = SchnorrSignature(group.power(3), signature.response)
+        assert not schnorr_verify(keys.public, b"msg", forged)
+
+    def test_empty_message(self, group):
+        keys = schnorr_keygen(group)
+        assert schnorr_verify(keys.public, b"", schnorr_sign(keys, b""))
+
+    def test_signature_over_ed25519(self):
+        group = ed25519_group()
+        keys = schnorr_keygen(group)
+        assert schnorr_verify(keys.public, b"paper curve", schnorr_sign(keys, b"paper curve"))
+
+
+class TestKeyHandling:
+    def test_public_key_from_secret(self, group):
+        keys = schnorr_keygen(group)
+        assert public_key_from_secret(group, keys.secret) == keys.public
+
+    def test_explicit_secret(self, group):
+        keys = schnorr_keygen(group, secret=99)
+        assert keys.secret == 99
+        assert keys.public == group.power(99)
+
+    def test_deterministic_nonce_gives_deterministic_signature(self, group):
+        keys = schnorr_keygen(group, secret=5)
+        assert schnorr_sign(keys, b"m", nonce=17) == schnorr_sign(keys, b"m", nonce=17)
+
+    def test_nonce_reuse_leaks_secret(self, group):
+        # Documented hazard: two signatures with the same nonce on different
+        # messages reveal the secret key.  The test reconstructs it.
+        keys = schnorr_keygen(group)
+        nonce = group.random_scalar()
+        sig1 = schnorr_sign(keys, b"first", nonce=nonce)
+        sig2 = schnorr_sign(keys, b"second", nonce=nonce)
+        from repro.crypto.schnorr import _challenge
+
+        c1 = _challenge(group, sig1.commitment, keys.public, b"first")
+        c2 = _challenge(group, sig2.commitment, keys.public, b"second")
+        recovered = ((sig1.response - sig2.response) * pow(c1 - c2, -1, group.order)) % group.order
+        assert recovered == keys.secret
+
+    def test_signature_serialization_length(self, group):
+        keys = schnorr_keygen(group)
+        data = schnorr_sign(keys, b"m").to_bytes()
+        assert len(data) == group.element_bytes + 64

@@ -1,0 +1,71 @@
+"""Shamir secret sharing and Lagrange interpolation in the exponent."""
+
+import pytest
+
+from repro.crypto.shamir import (
+    Share,
+    lagrange_coefficient,
+    reconstruct_in_exponent,
+    reconstruct_secret,
+    split_secret,
+)
+
+
+class TestSplitReconstruct:
+    def test_threshold_subset_reconstructs(self, group):
+        secret = group.random_scalar()
+        shares = split_secret(secret, threshold=3, num_shares=5, modulus=group.order)
+        assert reconstruct_secret(shares[:3], group.order) == secret
+
+    def test_any_threshold_subset_works(self, group):
+        secret = 123456789 % group.order
+        shares = split_secret(secret, threshold=2, num_shares=4, modulus=group.order)
+        assert reconstruct_secret([shares[1], shares[3]], group.order) == secret
+        assert reconstruct_secret([shares[0], shares[2]], group.order) == secret
+
+    def test_fewer_than_threshold_gives_wrong_secret(self, group):
+        secret = group.random_scalar()
+        shares = split_secret(secret, threshold=3, num_shares=5, modulus=group.order)
+        # With only two shares of a degree-2 polynomial the interpolation at 0
+        # is (with overwhelming probability) not the secret.
+        assert reconstruct_secret(shares[:2], group.order) != secret
+
+    def test_full_set_reconstructs(self, group):
+        secret = 42
+        shares = split_secret(secret, threshold=5, num_shares=5, modulus=group.order)
+        assert reconstruct_secret(shares, group.order) == secret
+
+    def test_invalid_threshold_rejected(self, group):
+        with pytest.raises(ValueError):
+            split_secret(1, threshold=6, num_shares=5, modulus=group.order)
+        with pytest.raises(ValueError):
+            split_secret(1, threshold=0, num_shares=5, modulus=group.order)
+
+    def test_unreduced_secret_rejected(self, group):
+        with pytest.raises(ValueError):
+            split_secret(group.order + 1, threshold=2, num_shares=3, modulus=group.order)
+
+    def test_duplicate_share_indices_rejected(self, group):
+        shares = [Share(1, 10), Share(1, 11)]
+        with pytest.raises(ValueError):
+            reconstruct_secret(shares, group.order)
+
+    def test_empty_share_list_rejected(self, group):
+        with pytest.raises(ValueError):
+            reconstruct_secret([], group.order)
+
+
+class TestLagrange:
+    def test_coefficients_sum_property(self, group):
+        # For a degree-0 polynomial (constant), any share equals the secret, so
+        # the weighted sum of identical values must reproduce it.
+        indices = [1, 2, 3]
+        total = sum(lagrange_coefficient(i, indices, group.order) for i in indices) % group.order
+        assert total == 1
+
+    def test_reconstruct_in_exponent(self, group):
+        secret = group.random_scalar()
+        shares = split_secret(secret, threshold=2, num_shares=3, modulus=group.order)
+        base = group.power(group.random_scalar())
+        points = {share.index: base ** share.value for share in shares[:2]}
+        assert reconstruct_in_exponent(points, group.order) == base ** secret

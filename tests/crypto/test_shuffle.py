@@ -1,0 +1,104 @@
+"""Verifiable re-encryption shuffles (single ciphertexts)."""
+
+import pytest
+
+from repro.crypto.shuffle import (
+    MixCascadeResult,
+    VerifiableShuffle,
+    assert_valid_shuffle,
+    mix_cascade,
+    random_permutation,
+    reencryption_shuffle,
+    shuffle_with_proof,
+    verify_mix_cascade,
+    verify_shuffle,
+)
+from repro.errors import VerificationError
+
+
+@pytest.fixture()
+def ciphertexts(group, elgamal, dkg):
+    return [elgamal.encrypt(dkg.public_key, group.power(value)) for value in range(5)]
+
+
+class TestPermutation:
+    def test_random_permutation_is_a_permutation(self):
+        for n in [1, 2, 5, 20]:
+            assert sorted(random_permutation(n)) == list(range(n))
+
+    def test_zero_length(self):
+        assert random_permutation(0) == []
+
+
+class TestReencryptionShuffle:
+    def test_preserves_multiset_of_plaintexts(self, group, elgamal, dkg, ciphertexts):
+        outputs, _, _ = reencryption_shuffle(elgamal, dkg.public_key, ciphertexts)
+        decrypted = sorted(group.decode_int(dkg.decrypt(c)) for c in outputs)
+        assert decrypted == list(range(5))
+
+    def test_explicit_permutation_and_randomness(self, group, elgamal, dkg, ciphertexts):
+        permutation = [4, 3, 2, 1, 0]
+        randomness = [1, 2, 3, 4, 5]
+        outputs, _, _ = reencryption_shuffle(elgamal, dkg.public_key, ciphertexts, permutation, randomness)
+        assert outputs[0] == elgamal.reencrypt(dkg.public_key, ciphertexts[4], 1)
+
+    def test_outputs_differ_from_inputs(self, elgamal, dkg, ciphertexts):
+        outputs, _, _ = reencryption_shuffle(elgamal, dkg.public_key, ciphertexts)
+        assert all(output not in ciphertexts for output in outputs)
+
+
+class TestShuffleProof:
+    def test_honest_shuffle_verifies(self, elgamal, dkg, ciphertexts):
+        shuffled = shuffle_with_proof(elgamal, dkg.public_key, ciphertexts, rounds=8)
+        assert verify_shuffle(elgamal, dkg.public_key, ciphertexts, shuffled)
+
+    def test_soundness_bits_reported(self, elgamal, dkg, ciphertexts):
+        shuffled = shuffle_with_proof(elgamal, dkg.public_key, ciphertexts, rounds=6)
+        assert shuffled.proof.soundness_bits == 6
+
+    def test_tampered_output_rejected(self, group, elgamal, dkg, ciphertexts):
+        shuffled = shuffle_with_proof(elgamal, dkg.public_key, ciphertexts, rounds=8)
+        tampered_outputs = list(shuffled.outputs)
+        tampered_outputs[0] = elgamal.encrypt(dkg.public_key, group.power(99))
+        tampered = VerifiableShuffle(outputs=tampered_outputs, proof=shuffled.proof)
+        assert not verify_shuffle(elgamal, dkg.public_key, ciphertexts, tampered)
+
+    def test_proof_bound_to_inputs(self, group, elgamal, dkg, ciphertexts):
+        shuffled = shuffle_with_proof(elgamal, dkg.public_key, ciphertexts, rounds=8)
+        other_inputs = [elgamal.encrypt(dkg.public_key, group.power(value + 10)) for value in range(5)]
+        assert not verify_shuffle(elgamal, dkg.public_key, other_inputs, shuffled)
+
+    def test_assert_helper_raises(self, group, elgamal, dkg, ciphertexts):
+        shuffled = shuffle_with_proof(elgamal, dkg.public_key, ciphertexts, rounds=4)
+        bad = VerifiableShuffle(outputs=list(reversed(shuffled.outputs)), proof=shuffled.proof)
+        with pytest.raises(VerificationError):
+            assert_valid_shuffle(elgamal, dkg.public_key, ciphertexts, bad)
+
+    def test_single_element_shuffle(self, group, elgamal, dkg):
+        single = [elgamal.encrypt(dkg.public_key, group.power(1))]
+        shuffled = shuffle_with_proof(elgamal, dkg.public_key, single, rounds=4)
+        assert verify_shuffle(elgamal, dkg.public_key, single, shuffled)
+
+
+class TestMixCascade:
+    def test_cascade_verifies_and_preserves_plaintexts(self, group, elgamal, dkg, ciphertexts):
+        cascade = mix_cascade(elgamal, dkg.public_key, ciphertexts, num_mixers=3, rounds=4)
+        assert verify_mix_cascade(elgamal, dkg.public_key, ciphertexts, cascade)
+        decrypted = sorted(group.decode_int(dkg.decrypt(c)) for c in cascade.outputs)
+        assert decrypted == list(range(5))
+
+    def test_cascade_has_one_stage_per_mixer(self, elgamal, dkg, ciphertexts):
+        cascade = mix_cascade(elgamal, dkg.public_key, ciphertexts, num_mixers=4, rounds=2)
+        assert len(cascade.stages) == 4
+
+    def test_tampered_middle_stage_detected(self, group, elgamal, dkg, ciphertexts):
+        cascade = mix_cascade(elgamal, dkg.public_key, ciphertexts, num_mixers=2, rounds=4)
+        tampered_stage = VerifiableShuffle(
+            outputs=[elgamal.encrypt(dkg.public_key, group.power(7))] * len(ciphertexts),
+            proof=cascade.stages[0].proof,
+        )
+        tampered = MixCascadeResult(stages=[tampered_stage, cascade.stages[1]])
+        assert not verify_mix_cascade(elgamal, dkg.public_key, ciphertexts, tampered)
+
+    def test_empty_cascade_outputs_empty(self):
+        assert MixCascadeResult(stages=[]).outputs == []

@@ -1,0 +1,82 @@
+"""Distributed deterministic tagging (Votegral's linear-time filter)."""
+
+import pytest
+
+from repro.crypto.schnorr import schnorr_keygen
+from repro.crypto.tagging import TaggingAuthority, assert_valid_tag, verify_blinded_tag
+from repro.errors import VerificationError
+
+
+class TestDeterminism:
+    def test_same_input_same_tag(self, group):
+        authority = TaggingAuthority.create(group, 3)
+        element = group.power(1234)
+        assert authority.blind_element(element).value == authority.blind_element(element).value
+
+    def test_different_inputs_different_tags(self, group):
+        authority = TaggingAuthority.create(group, 3)
+        assert authority.blind_element(group.power(1)).value != authority.blind_element(group.power(2)).value
+
+    def test_fresh_authority_produces_unlinkable_tags(self, group):
+        element = group.power(7)
+        first = TaggingAuthority.create(group, 2).blind_element(element).value
+        second = TaggingAuthority.create(group, 2).blind_element(element).value
+        assert first != second
+
+    def test_tag_equals_collective_exponent(self, group):
+        authority = TaggingAuthority.create(group, 3)
+        element = group.power(9)
+        exponent = 1
+        for secret in authority.secrets:
+            exponent = (exponent * secret) % group.order
+        assert authority.blind_element(element).value == element ** exponent
+
+
+class TestCiphertextTagging:
+    def test_blind_and_decrypt_matches_plain_blinding(self, group, elgamal, dkg):
+        authority = TaggingAuthority.create(group, dkg.num_members)
+        credential = schnorr_keygen(group)
+        ciphertext = elgamal.encrypt(dkg.public_key, credential.public)
+        assert authority.blind_and_decrypt(dkg, ciphertext) == authority.blind_element(credential.public).value
+
+    def test_real_matches_fake_does_not(self, group, elgamal, dkg):
+        """The exact tally-filter situation: a real ballot's tag matches the
+        registration tag; a fake ballot's tag does not."""
+        authority = TaggingAuthority.create(group, dkg.num_members)
+        real = schnorr_keygen(group)
+        fake = schnorr_keygen(group)
+        registration_tag = elgamal.encrypt(dkg.public_key, real.public)
+        decrypted_tag = authority.blind_and_decrypt(dkg, registration_tag)
+        assert authority.blind_element(real.public).value == decrypted_tag
+        assert authority.blind_element(fake.public).value != decrypted_tag
+
+
+class TestVerification:
+    def test_valid_chain_verifies(self, group):
+        authority = TaggingAuthority.create(group, 3)
+        element = group.power(5)
+        tag = authority.blind_element(element)
+        assert verify_blinded_tag(tag, element, authority.commitments)
+
+    def test_chain_against_wrong_original_fails(self, group):
+        authority = TaggingAuthority.create(group, 3)
+        tag = authority.blind_element(group.power(5))
+        assert not verify_blinded_tag(tag, group.power(6), authority.commitments)
+
+    def test_chain_against_wrong_commitments_fails(self, group):
+        authority = TaggingAuthority.create(group, 2)
+        other = TaggingAuthority.create(group, 2)
+        element = group.power(5)
+        tag = authority.blind_element(element)
+        assert not verify_blinded_tag(tag, element, other.commitments)
+
+    def test_assert_valid_tag_raises_on_failure(self, group):
+        authority = TaggingAuthority.create(group, 2)
+        tag = authority.blind_element(group.power(5))
+        with pytest.raises(VerificationError):
+            assert_valid_tag(tag, group.power(6), authority.commitments)
+
+    def test_tag_key_is_canonical_bytes(self, group):
+        authority = TaggingAuthority.create(group, 2)
+        tag = authority.blind_element(group.power(5))
+        assert tag.key() == tag.value.to_bytes()

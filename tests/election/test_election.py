@@ -1,0 +1,67 @@
+"""The full Votegral election pipeline."""
+
+import pytest
+
+from repro.election import ElectionConfig, VotegralElection
+from repro.errors import ProtocolError
+
+
+class TestElectionConfig:
+    def test_voter_ids_are_unique_and_sized(self):
+        config = ElectionConfig(num_voters=12)
+        ids = config.voter_ids()
+        assert len(ids) == 12
+        assert len(set(ids)) == 12
+
+    def test_group_factory(self):
+        config = ElectionConfig()
+        assert config.make_group().order > 2
+
+
+class TestFullElection:
+    def test_tally_matches_intent(self):
+        config = ElectionConfig(num_voters=5, num_options=3, proof_rounds=2, num_mixers=2)
+        report = VotegralElection(config).run()
+        assert report.counts_match_intent
+        assert report.universally_verified
+        assert report.result.num_counted == 5
+
+    def test_fake_ballots_inflate_ledger_not_tally(self):
+        config = ElectionConfig(num_voters=4, num_options=2, proof_rounds=2, num_mixers=2)
+        election = VotegralElection(config)
+        election.run_setup()
+        election.run_registration()
+        election.run_voting(fake_vote_probability=1.0)
+        result = election.run_tally()
+        assert result.num_ballots_on_ledger == 8
+        assert result.num_counted == 4
+
+    def test_explicit_choices(self):
+        config = ElectionConfig(num_voters=3, num_options=2, proof_rounds=2, num_mixers=2)
+        election = VotegralElection(config)
+        choices = {voter_id: 1 for voter_id in config.voter_ids()}
+        report = election.run(choices=choices)
+        assert report.result.counts == {0: 0, 1: 3}
+
+    def test_tally_before_voting_raises(self):
+        election = VotegralElection(ElectionConfig(num_voters=2))
+        election.run_setup()
+        with pytest.raises(ProtocolError):
+            election.run_tally()
+
+    def test_phase_timings_recorded(self):
+        config = ElectionConfig(num_voters=3, proof_rounds=2, num_mixers=2)
+        election = VotegralElection(config)
+        election.run()
+        per_voter = election.timing.per_voter(config.num_voters)
+        assert per_voter["registration"] > 0
+        assert per_voter["voting"] > 0
+        assert per_voter["tally"] > 0
+
+    def test_every_voter_gets_a_client_with_real_credential(self):
+        config = ElectionConfig(num_voters=3, proof_rounds=2, num_mixers=2)
+        election = VotegralElection(config)
+        election.run_setup()
+        election.run_registration()
+        for client in election.clients.values():
+            assert client.real_credential().is_real

@@ -1,0 +1,124 @@
+"""The Votegral bulletin board and its three sub-ledgers."""
+
+import pytest
+
+from repro.crypto.elgamal import ElGamal
+from repro.crypto.hashing import sha256
+from repro.crypto.schnorr import schnorr_keygen, schnorr_sign
+from repro.errors import LedgerError
+from repro.ledger.bulletin_board import (
+    BallotRecord,
+    BulletinBoard,
+    EnvelopeCommitmentRecord,
+    EnvelopeUsageRecord,
+    RegistrationRecord,
+)
+
+
+@pytest.fixture()
+def populated_board(group):
+    board = BulletinBoard()
+    board.publish_electoral_roll(["alice", "bob"])
+    return board
+
+
+def _registration_record(group, voter_id="alice"):
+    kiosk = schnorr_keygen(group)
+    official = schnorr_keygen(group)
+    elgamal = ElGamal(group)
+    credential = schnorr_keygen(group)
+    tag = elgamal.encrypt(group.power(5), credential.public)
+    return RegistrationRecord(
+        voter_id=voter_id,
+        public_credential_c1=tag.c1,
+        public_credential_c2=tag.c2,
+        kiosk_public_key=kiosk.public,
+        kiosk_signature=schnorr_sign(kiosk, b"ticket"),
+        official_public_key=official.public,
+        official_signature=schnorr_sign(official, b"approval"),
+    )
+
+
+class TestElectoralRoll:
+    def test_roll_published(self, populated_board):
+        assert populated_board.eligible_voters == ["alice", "bob"]
+        assert populated_board.is_eligible("alice")
+        assert not populated_board.is_eligible("mallory")
+
+    def test_duplicate_roll_entry_rejected(self, populated_board):
+        with pytest.raises(LedgerError):
+            populated_board.publish_electoral_roll(["alice"])
+
+
+class TestRegistrationLedger:
+    def test_post_and_lookup(self, group, populated_board):
+        record = _registration_record(group)
+        populated_board.post_registration(record)
+        assert populated_board.registration_for("alice") == record
+        assert populated_board.num_registered == 1
+
+    def test_ineligible_voter_rejected(self, group, populated_board):
+        record = _registration_record(group, voter_id="mallory")
+        with pytest.raises(LedgerError):
+            populated_board.post_registration(record)
+
+    def test_reregistration_supersedes(self, group, populated_board):
+        first = _registration_record(group)
+        second = _registration_record(group)
+        populated_board.post_registration(first)
+        populated_board.post_registration(second)
+        assert populated_board.registration_for("alice") == second
+        assert populated_board.num_registered == 1
+        assert len(populated_board.registration_history("alice")) == 2
+
+    def test_active_registrations_one_per_voter(self, group, populated_board):
+        populated_board.post_registration(_registration_record(group, "alice"))
+        populated_board.post_registration(_registration_record(group, "bob"))
+        populated_board.post_registration(_registration_record(group, "alice"))
+        assert len(populated_board.active_registrations()) == 2
+
+
+class TestEnvelopeLedger:
+    def test_commitment_roundtrip(self, group, populated_board):
+        printer = schnorr_keygen(group)
+        challenge_hash = sha256(b"challenge")
+        record = EnvelopeCommitmentRecord(printer.public, challenge_hash, schnorr_sign(printer, challenge_hash))
+        populated_board.post_envelope_commitment(record)
+        assert populated_board.envelope_commitment(challenge_hash) == record
+        assert populated_board.num_envelope_commitments == 1
+
+    def test_usage_duplicate_detection(self, populated_board):
+        usage = EnvelopeUsageRecord(challenge=123, challenge_hash=sha256(b"123"))
+        populated_board.post_envelope_usage(usage)
+        assert populated_board.is_challenge_used(sha256(b"123"))
+        with pytest.raises(LedgerError):
+            populated_board.post_envelope_usage(usage)
+
+    def test_usage_count_is_aggregate_only(self, populated_board):
+        for value in range(4):
+            populated_board.post_envelope_usage(
+                EnvelopeUsageRecord(challenge=value, challenge_hash=sha256(bytes([value])))
+            )
+        assert populated_board.num_challenges_used == 4
+
+
+class TestBallotLedger:
+    def test_post_and_filter_by_election(self, group, populated_board):
+        credential = schnorr_keygen(group)
+        elgamal = ElGamal(group)
+        ciphertext = elgamal.encrypt(group.power(3), group.power(1))
+        record = BallotRecord(
+            credential_public_key=credential.public,
+            ciphertext_c1=ciphertext.c1,
+            ciphertext_c2=ciphertext.c2,
+            signature=schnorr_sign(credential, b"ballot"),
+            election_id="2026-06",
+        )
+        populated_board.post_ballot(record)
+        assert populated_board.num_ballots == 1
+        assert populated_board.ballots("2026-06") == [record]
+        assert populated_board.ballots("other") == []
+
+    def test_all_chains_verify(self, group, populated_board):
+        populated_board.post_registration(_registration_record(group))
+        assert populated_board.verify_all_chains()

@@ -1,0 +1,117 @@
+"""Latency ledger, hardware profiles, printer and scanner models."""
+
+import pytest
+
+from repro.peripherals.clock import Component, LatencyLedger
+from repro.peripherals.hardware import HARDWARE_PROFILES, hardware_profile
+from repro.peripherals.printer import ReceiptPrinter
+from repro.peripherals.qr import Barcode, QRCode
+from repro.peripherals.scanner import CodeScanner
+
+
+class TestLatencyLedger:
+    def test_phase_scoping(self):
+        ledger = LatencyLedger()
+        with ledger.phase("CheckIn"):
+            ledger.record(Component.CRYPTO, 0.1)
+        ledger.record(Component.CRYPTO, 0.2)
+        table = ledger.wall_by_phase_component()
+        assert table["CheckIn"][Component.CRYPTO] == pytest.approx(0.1)
+        assert table["Unscoped"][Component.CRYPTO] == pytest.approx(0.2)
+
+    def test_nested_phases_restore(self):
+        ledger = LatencyLedger()
+        with ledger.phase("Outer"):
+            with ledger.phase("Inner"):
+                ledger.record(Component.QR_SCAN, 0.5)
+            ledger.record(Component.QR_SCAN, 0.25)
+        assert ledger.phase_wall_seconds("Inner") == pytest.approx(0.5)
+        assert ledger.phase_wall_seconds("Outer") == pytest.approx(0.25)
+
+    def test_totals(self):
+        ledger = LatencyLedger()
+        ledger.record(Component.QR_PRINT, 1.0, cpu_user_seconds=0.3, cpu_system_seconds=0.1)
+        ledger.record(Component.QR_SCAN, 0.5, cpu_user_seconds=0.05)
+        assert ledger.total_wall_seconds() == pytest.approx(1.5)
+        assert ledger.total_cpu_seconds() == pytest.approx(0.45)
+        assert ledger.wall_seconds_for(Component.QR_PRINT) == pytest.approx(1.0)
+
+    def test_measure_records_real_time(self):
+        ledger = LatencyLedger()
+        with ledger.measure(Component.CRYPTO, label="spin"):
+            sum(range(10000))
+        assert ledger.total_wall_seconds() > 0
+
+    def test_merge(self):
+        a, b = LatencyLedger(), LatencyLedger()
+        a.record(Component.CRYPTO, 1.0)
+        b.record(Component.QR_SCAN, 2.0)
+        a.merge(b)
+        assert a.total_wall_seconds() == pytest.approx(3.0)
+
+    def test_phases_listed_in_first_seen_order(self):
+        ledger = LatencyLedger()
+        with ledger.phase("B"):
+            ledger.record(Component.CRYPTO, 0.1)
+        with ledger.phase("A"):
+            ledger.record(Component.CRYPTO, 0.1)
+        assert ledger.phases() == ["B", "A"]
+
+
+class TestHardwareProfiles:
+    def test_all_four_platforms_exist(self):
+        assert set(HARDWARE_PROFILES) == {"L1", "L2", "H1", "H2"}
+
+    def test_lookup_by_key(self):
+        assert hardware_profile("L1").name == "Point-of-Sale Kiosk"
+        with pytest.raises(KeyError):
+            hardware_profile("X9")
+
+    def test_constrained_devices_flagged(self):
+        assert hardware_profile("L1").resource_constrained
+        assert hardware_profile("L2").resource_constrained
+        assert not hardware_profile("H1").resource_constrained
+
+    def test_constrained_devices_have_higher_cpu_multiplier(self):
+        assert hardware_profile("L1").cpu_multiplier > hardware_profile("H1").cpu_multiplier
+
+    def test_print_render_slower_on_kiosk(self):
+        """§7.2: print rendering is ≈380 % slower on the constrained devices."""
+        ratio = hardware_profile("L1").print_cpu_seconds(10) / hardware_profile("H1").print_cpu_seconds(10)
+        assert ratio > 3.5
+
+    def test_scan_latency_close_to_a_second_for_typical_qr(self):
+        """§7.2: scanning a QR takes ≈948 ms on average."""
+        seconds = hardware_profile("H1").scan_seconds(400)
+        assert 0.6 < seconds < 1.3
+
+
+class TestPrinterScanner:
+    def test_printer_records_print_component(self):
+        ledger = LatencyLedger()
+        printer = ReceiptPrinter(profile=hardware_profile("H1"), ledger=ledger)
+        printer.print_codes(QRCode(payload=b"x" * 100), label="commit")
+        assert ledger.wall_seconds_for(Component.QR_PRINT) > 0
+        assert printer.total_jobs == 1
+
+    def test_bigger_jobs_take_longer(self):
+        ledger = LatencyLedger()
+        printer = ReceiptPrinter(profile=hardware_profile("H1"), ledger=ledger)
+        small = printer.print_codes(QRCode(payload=b"x" * 20))
+        large = printer.print_codes(QRCode(payload=b"x" * 300), QRCode(payload=b"y" * 300))
+        assert large.total_lines > small.total_lines
+
+    def test_scanner_roundtrip_and_accounting(self):
+        ledger = LatencyLedger()
+        scanner = CodeScanner(profile=hardware_profile("H1"), ledger=ledger)
+        decoded = scanner.scan(QRCode(payload=b"payload"))
+        assert decoded.payload == b"payload"
+        assert ledger.wall_seconds_for(Component.QR_SCAN) > 0
+        assert ledger.wall_seconds_for(Component.QR_READ_WRITE) >= 0
+        assert scanner.total_scans == 1
+
+    def test_scanner_handles_barcodes(self):
+        ledger = LatencyLedger()
+        scanner = CodeScanner(profile=hardware_profile("L2"), ledger=ledger)
+        decoded = scanner.scan(Barcode(payload=b"ticket"))
+        assert decoded.payload == b"ticket"

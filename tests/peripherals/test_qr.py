@@ -1,0 +1,53 @@
+"""QR/barcode payload model."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.peripherals.qr import Barcode, QRCode, qr_version_for
+
+
+class TestQRCode:
+    def test_roundtrip(self):
+        code = QRCode(payload=b"hello trip", label="test")
+        decoded = QRCode.decode(code.encoded)
+        assert decoded.payload == b"hello trip"
+
+    def test_version_grows_with_payload(self):
+        assert qr_version_for(10) < qr_version_for(200)
+
+    def test_paper_payload_sizes_fit(self):
+        """The paper's QR payloads are 13-356 bytes; all must be encodable."""
+        for size in (13, 100, 256, 356):
+            assert 1 <= qr_version_for(size) <= 16
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            qr_version_for(5000)
+
+    def test_corrupted_wire_bytes_detected(self):
+        code = QRCode(payload=b"hello")
+        corrupted = bytearray(code.encoded)
+        corrupted[5] ^= 0xFF
+        with pytest.raises(Exception):
+            QRCode.decode(bytes(corrupted))
+
+    def test_wire_length_larger_than_payload(self):
+        code = QRCode(payload=b"x" * 50)
+        assert code.wire_length > 50
+
+
+class TestBarcode:
+    def test_roundtrip(self):
+        code = Barcode(payload=b"alice|tag")
+        assert Barcode.decode(code.encoded).payload == b"alice|tag"
+
+    def test_capacity_limit(self):
+        with pytest.raises(ProtocolError):
+            Barcode(payload=b"x" * 100)
+
+    def test_checksum_detects_tampering(self):
+        code = Barcode(payload=b"alice")
+        corrupted = bytearray(code.encoded)
+        corrupted[-1] ^= 0x01
+        with pytest.raises(Exception):
+            Barcode.decode(bytes(corrupted))

@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) on the cryptographic substrate."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.crypto.chaum_pedersen import (
+    ChaumPedersenProver,
+    ChaumPedersenStatement,
+    chaum_pedersen_verify,
+    simulate_chaum_pedersen,
+)
+from repro.crypto.elgamal import ElGamal
+from repro.crypto.modp_group import testing_group
+from repro.crypto.schnorr import schnorr_keygen, schnorr_sign, schnorr_verify
+from repro.crypto.shamir import reconstruct_secret, split_secret
+
+GROUP = testing_group()
+ELGAMAL = ElGamal(GROUP)
+ORDER = GROUP.order
+
+scalars = st.integers(min_value=1, max_value=ORDER - 1)
+small_ints = st.integers(min_value=0, max_value=500)
+
+FAST = settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestGroupProperties:
+    @FAST
+    @given(a=scalars, b=scalars)
+    def test_exponent_homomorphism(self, a, b):
+        assert GROUP.power(a) * GROUP.power(b) == GROUP.power((a + b) % ORDER)
+
+    @FAST
+    @given(a=scalars)
+    def test_inverse_cancels(self, a):
+        element = GROUP.power(a)
+        assert element * element.inverse() == GROUP.identity
+
+    @FAST
+    @given(a=scalars)
+    def test_encoding_roundtrip(self, a):
+        element = GROUP.power(a)
+        assert GROUP.element_from_bytes(element.to_bytes()) == element
+
+    @FAST
+    @given(a=scalars, b=scalars)
+    def test_diffie_hellman_symmetry(self, a, b):
+        assert GROUP.power(a) ** b == GROUP.power(b) ** a
+
+
+class TestElGamalProperties:
+    @FAST
+    @given(secret=scalars, message_exponent=scalars, randomness=scalars)
+    def test_decryption_inverts_encryption(self, secret, message_exponent, randomness):
+        keys = ELGAMAL.keygen(secret)
+        message = GROUP.power(message_exponent)
+        assert ELGAMAL.decrypt(secret, ELGAMAL.encrypt(keys.public, message, randomness)) == message
+
+    @FAST
+    @given(secret=scalars, message_exponent=scalars, r1=scalars, r2=scalars)
+    def test_reencryption_preserves_plaintext(self, secret, message_exponent, r1, r2):
+        keys = ELGAMAL.keygen(secret)
+        message = GROUP.power(message_exponent)
+        ciphertext = ELGAMAL.encrypt(keys.public, message, r1)
+        assert ELGAMAL.decrypt(secret, ELGAMAL.reencrypt(keys.public, ciphertext, r2)) == message
+
+    @FAST
+    @given(secret=scalars, a=small_ints, b=small_ints)
+    def test_homomorphic_addition(self, secret, a, b):
+        keys = ELGAMAL.keygen(secret)
+        combined = ELGAMAL.encrypt_int(keys.public, a).multiply(ELGAMAL.encrypt_int(keys.public, b))
+        assert ELGAMAL.decrypt_int(secret, combined, max_value=1000) == a + b
+
+
+class TestSchnorrProperties:
+    @FAST
+    @given(secret=scalars, message=st.binary(min_size=0, max_size=64))
+    def test_signatures_always_verify(self, secret, message):
+        keys = schnorr_keygen(GROUP, secret)
+        assert schnorr_verify(keys.public, message, schnorr_sign(keys, message))
+
+    @FAST
+    @given(secret=scalars, message=st.binary(min_size=1, max_size=32), other=st.binary(min_size=1, max_size=32))
+    def test_signature_does_not_transfer_between_messages(self, secret, message, other):
+        if message == other:
+            return
+        keys = schnorr_keygen(GROUP, secret)
+        assert not schnorr_verify(keys.public, other, schnorr_sign(keys, message))
+
+
+class TestChaumPedersenProperties:
+    @FAST
+    @given(witness=scalars, challenge=st.integers(min_value=0, max_value=ORDER - 1))
+    def test_honest_proofs_always_verify(self, witness, challenge):
+        h = GROUP.hash_to_element(b"h")
+        statement = ChaumPedersenStatement(GROUP.generator, h, GROUP.power(witness), h ** witness)
+        prover = ChaumPedersenProver(statement, witness)
+        prover.commit()
+        assert chaum_pedersen_verify(prover.respond(challenge))
+
+    @FAST
+    @given(
+        log_g=scalars,
+        log_h=scalars,
+        challenge=st.integers(min_value=0, max_value=ORDER - 1),
+    )
+    def test_simulated_proofs_always_verify_even_for_false_statements(self, log_g, log_h, challenge):
+        h = GROUP.hash_to_element(b"h")
+        statement = ChaumPedersenStatement(GROUP.generator, h, GROUP.power(log_g), h ** log_h)
+        assert chaum_pedersen_verify(simulate_chaum_pedersen(statement, challenge))
+
+
+class TestShamirProperties:
+    @FAST
+    @given(
+        secret=st.integers(min_value=0, max_value=ORDER - 1),
+        threshold=st.integers(min_value=1, max_value=5),
+        extra=st.integers(min_value=0, max_value=3),
+    )
+    def test_any_threshold_subset_reconstructs(self, secret, threshold, extra):
+        num_shares = threshold + extra
+        shares = split_secret(secret, threshold, num_shares, ORDER)
+        assert reconstruct_secret(shares[:threshold], ORDER) == secret
+        assert reconstruct_secret(shares[-threshold:], ORDER) == secret

@@ -1,0 +1,107 @@
+"""Property-based tests on the ledger, codec and tally invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.crypto.modp_group import testing_group
+from repro.crypto.schnorr import schnorr_keygen, schnorr_sign
+from repro.ledger.log import AppendOnlyLog
+from repro.registration.codec import Decoder, Encoder
+from repro.security.analysis import iv_adversary_success_bound
+from repro.tally.decrypt import aggregate
+from repro.tally.filter import deduplicate_ballots
+from repro.tally.decrypt import DecryptedVote
+
+GROUP = testing_group()
+FAST = settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestLedgerProperties:
+    @FAST
+    @given(payloads=st.lists(st.binary(min_size=0, max_size=64), min_size=0, max_size=30))
+    def test_any_append_sequence_verifies(self, payloads):
+        log = AppendOnlyLog()
+        for payload in payloads:
+            log.append(payload)
+        assert log.verify_chain()
+        assert len(log) == len(payloads)
+
+    @FAST
+    @given(
+        payloads=st.lists(st.binary(min_size=0, max_size=32), min_size=1, max_size=20),
+        data=st.data(),
+    )
+    def test_every_entry_has_valid_inclusion_proof(self, payloads, data):
+        log = AppendOnlyLog()
+        for payload in payloads:
+            log.append(payload)
+        index = data.draw(st.integers(min_value=0, max_value=len(payloads) - 1))
+        assert AppendOnlyLog.verify_inclusion(log.inclusion_proof(index))
+
+
+class TestCodecProperties:
+    @FAST
+    @given(
+        text=st.text(max_size=40),
+        blob=st.binary(max_size=60),
+        value=st.integers(min_value=0, max_value=GROUP.order - 1),
+    )
+    def test_roundtrip(self, text, blob, value):
+        encoded = Encoder().put_str(text).put_bytes(blob).put_int(value, GROUP).bytes()
+        decoder = Decoder(encoded)
+        assert decoder.get_str() == text
+        assert decoder.get_bytes() == blob
+        assert decoder.get_int() == value
+        assert decoder.exhausted
+
+
+class TestTallyInvariants:
+    @FAST
+    @given(choices=st.lists(st.integers(min_value=0, max_value=4), max_size=50))
+    def test_aggregate_conserves_ballots(self, choices):
+        votes = [DecryptedVote(choice) for choice in choices]
+        counts = aggregate(votes, num_options=5)
+        assert sum(counts.values()) == len(choices)
+        assert set(counts) == set(range(5))
+
+    @FAST
+    @given(num_casts=st.lists(st.integers(min_value=1, max_value=4), min_size=0, max_size=10))
+    def test_deduplication_keeps_one_ballot_per_credential(self, num_casts):
+        from repro.crypto.elgamal import ElGamal
+        from repro.ledger.bulletin_board import BallotRecord
+
+        elgamal = ElGamal(GROUP)
+        records = []
+        for casts in num_casts:
+            keypair = schnorr_keygen(GROUP)
+            for _ in range(casts):
+                ciphertext = elgamal.encrypt(GROUP.power(3), GROUP.power(1))
+                records.append(
+                    BallotRecord(
+                        credential_public_key=keypair.public,
+                        ciphertext_c1=ciphertext.c1,
+                        ciphertext_c2=ciphertext.c2,
+                        signature=schnorr_sign(keypair, b"b"),
+                    )
+                )
+        assert len(deduplicate_ballots(records)) == len(num_casts)
+
+
+class TestTheoremIVProperties:
+    @FAST
+    @given(
+        num_envelopes=st.integers(min_value=2, max_value=60),
+        max_credentials=st.integers(min_value=1, max_value=5),
+    )
+    def test_bound_is_a_probability(self, num_envelopes, max_credentials):
+        from repro.security.analysis import uniform_credential_distribution
+
+        bound = iv_adversary_success_bound(num_envelopes, uniform_credential_distribution(max_credentials))
+        assert 0.0 <= bound <= 1.0
+
+    @FAST
+    @given(num_envelopes=st.integers(min_value=4, max_value=50))
+    def test_more_fakes_never_helps_the_adversary(self, num_envelopes):
+        lazy = iv_adversary_success_bound(num_envelopes, {1: 1.0})
+        diligent = iv_adversary_success_bound(num_envelopes, {3: 1.0})
+        assert diligent <= lazy + 1e-12

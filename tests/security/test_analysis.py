@@ -1,0 +1,99 @@
+"""Analytic bounds: Theorem IV and the §7.5 detection arithmetic."""
+
+import math
+
+import pytest
+
+from repro.security.analysis import (
+    EDUCATED_VOTERS,
+    UNEDUCATED_VOTERS,
+    geometric_credential_distribution,
+    iv_adversary_success_bound,
+    iv_success_over_population,
+    kiosk_undetected_probability,
+    uniform_credential_distribution,
+)
+
+
+class TestCredentialDistributions:
+    def test_uniform_sums_to_one(self):
+        distribution = uniform_credential_distribution(4)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert set(distribution) == {1, 2, 3, 4}
+
+    def test_geometric_sums_to_one(self):
+        distribution = geometric_credential_distribution(1.5)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert min(distribution) == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_credential_distribution(0)
+        with pytest.raises(ValueError):
+            geometric_credential_distribution(-1)
+
+
+class TestTheoremIVBound:
+    def test_single_envelope_single_credential_is_certain(self):
+        # One envelope, voters always create exactly one credential: stuffing
+        # that envelope always succeeds — the degenerate worst case.
+        assert iv_adversary_success_bound(1, {1: 1.0}) == pytest.approx(1.0)
+
+    def test_more_envelopes_lower_bound(self):
+        distribution = {2: 1.0}
+        small = iv_adversary_success_bound(10, distribution)
+        large = iv_adversary_success_bound(100, distribution)
+        assert large < small
+
+    def test_fake_credentials_help(self):
+        """Voters who always make a fake credential are harder to attack than
+        voters who never do (with the same booth size)."""
+        never_fake = iv_adversary_success_bound(20, {1: 1.0})
+        always_fake = iv_adversary_success_bound(20, {2: 1.0})
+        assert always_fake < never_fake
+
+    def test_bound_is_probability(self):
+        bound = iv_adversary_success_bound(50, uniform_credential_distribution(5))
+        assert 0.0 <= bound <= 1.0
+
+    def test_best_k_reported(self):
+        bound, best_k = iv_adversary_success_bound(20, {2: 1.0}, return_best_k=True)
+        assert 1 <= best_k <= 20
+        assert bound == pytest.approx(iv_adversary_success_bound(20, {2: 1.0}))
+
+    def test_known_closed_form_single_fake(self):
+        """With n_c = 2 fixed, the bound is max_k (k/n)·(n−k)/(n−1): maximized at k ≈ n/2."""
+        n = 20
+        expected = max((k / n) * (n - k) / (n - 1) for k in range(1, n + 1))
+        assert iv_adversary_success_bound(n, {2: 1.0}) == pytest.approx(expected)
+
+    def test_distribution_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            iv_adversary_success_bound(10, {1: 0.7})
+
+    def test_iteration_over_population_decays_geometrically(self):
+        distribution = uniform_credential_distribution(3)
+        single = iv_adversary_success_bound(40, distribution)
+        ten = iv_success_over_population(40, distribution, 10)
+        assert ten == pytest.approx(single**10)
+        assert ten < single
+
+
+class TestKioskDetection:
+    def test_paper_headline_numbers(self):
+        """§7.5: P[undetected over 50 voters] < 1 % at a 10 % detection rate,
+        and ≈ 2^-152 for 1000 voters."""
+        fifty = kiosk_undetected_probability(0.10, 50)
+        thousand = kiosk_undetected_probability(0.10, 1000)
+        assert fifty < 0.01
+        assert math.log2(thousand) == pytest.approx(-152, abs=1)
+
+    def test_educated_voters_detect_faster(self):
+        assert EDUCATED_VOTERS.survival_probability(10) < UNEDUCATED_VOTERS.survival_probability(10)
+
+    def test_zero_detection_rate_never_detects(self):
+        assert kiosk_undetected_probability(0.0, 1000) == 1.0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            kiosk_undetected_probability(1.5, 10)

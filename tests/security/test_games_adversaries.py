@@ -1,0 +1,158 @@
+"""Security games and adversary implementations."""
+
+import pytest
+
+from repro.crypto.chaum_pedersen import chaum_pedersen_verify
+from repro.registration.kiosk import Kiosk
+from repro.registration.official import RegistrationOfficial
+from repro.registration.voter import Voter
+from repro.registration.vsd import VoterSupportingDevice
+from repro.security.adversary import Coercer, CoercionDemand
+from repro.security.analysis import uniform_credential_distribution
+from repro.security.games import CoercionResistanceExperiment, IndividualVerifiabilityGame
+from repro.security.malicious_kiosk import WrongOrderKiosk
+
+
+class TestIndividualVerifiabilityGame:
+    def test_empirical_rate_close_to_analytic_bound(self):
+        distribution = {2: 1.0}
+        game = IndividualVerifiabilityGame(num_envelopes=20, stuffed=10, credential_distribution=distribution)
+        result = game.run(trials=4000)
+        # The analytic bound maximizes over k; with k = n/2 the empirical rate
+        # should approach it (within Monte-Carlo noise).
+        assert result.empirical_rate == pytest.approx(result.analytic_bound, abs=0.03)
+
+    def test_empirical_rate_never_far_above_bound(self):
+        distribution = uniform_credential_distribution(4)
+        bound_game = IndividualVerifiabilityGame(20, 5, distribution)
+        result = bound_game.run(trials=4000)
+        assert result.empirical_rate <= result.analytic_bound + 0.03
+
+    def test_stuffing_everything_gets_detected_when_voters_make_fakes(self):
+        game = IndividualVerifiabilityGame(num_envelopes=10, stuffed=10, credential_distribution={3: 1.0})
+        result = game.run(trials=500)
+        assert result.adversary_wins == 0
+        assert result.duplicates_detected == 500
+
+    def test_single_stuffed_envelope_rarely_wins(self):
+        game = IndividualVerifiabilityGame(num_envelopes=50, stuffed=1, credential_distribution={2: 1.0})
+        result = game.run(trials=2000)
+        assert result.empirical_rate < 0.06
+
+
+class TestCoercer:
+    def test_coercer_receives_only_fakes(self, small_setup):
+        from repro.registration.protocol import run_registration
+
+        outcome = run_registration(small_setup, Voter("alice", num_fake_credentials=2))
+        coercer = Coercer(CoercionDemand(demanded_fake_credentials=1, demanded_vote=0))
+        handed = coercer.collect_credentials(outcome.voter)
+        real_secret = outcome.voter.real_credential().receipt.response_code.credential_secret
+        assert handed
+        assert all(c.receipt.response_code.credential_secret != real_secret for c in handed)
+
+    def test_ledger_view_is_aggregate_only(self, small_setup):
+        from repro.registration.protocol import run_registration
+
+        run_registration(small_setup, Voter("alice", num_fake_credentials=1))
+        coercer = Coercer(CoercionDemand(1, 0))
+        view = coercer.ledger_view(small_setup.board)
+        assert set(view) == {"registrations", "envelope_challenges_used", "ballots"}
+
+    def test_demand_totals(self):
+        demand = CoercionDemand(demanded_fake_credentials=3, demanded_vote=1)
+        assert demand.demanded_total_credentials == 4
+
+
+class TestCoercionResistanceExperiment:
+    def test_random_guessing_has_no_advantage_by_construction(self):
+        experiment = CoercionResistanceExperiment(num_voters=4)
+        advantage = experiment.run(trials=4)
+        assert 0.0 <= advantage <= 0.5
+
+    def test_counting_credentials_gives_no_advantage(self):
+        """A coercer that guesses from the number of surrendered credentials
+        learns nothing: the voter always hands over the demanded number."""
+        experiment = CoercionResistanceExperiment(num_voters=4, demanded_fakes=1)
+        advantage = experiment.run(
+            trials=6,
+            guess_strategy=lambda view: view.surrendered_credentials < 1,
+        )
+        # The strategy degenerates to a constant guess, so its success rate is
+        # exactly 1/2 over the balanced trial schedule.
+        assert advantage == pytest.approx(0.0, abs=1e-9)
+
+
+class TestWrongOrderKiosk:
+    def _actors(self, setup):
+        kiosk = WrongOrderKiosk(
+            group=setup.group,
+            keypair=setup.registrar.kiosk_keys[0],
+            authority_public_key=setup.authority_public_key,
+            shared_mac_key=setup.registrar.shared_mac_key,
+        )
+        official = RegistrationOfficial(
+            group=setup.group,
+            keypair=setup.registrar.official_keys[0],
+            shared_mac_key=setup.registrar.shared_mac_key,
+            board=setup.board,
+            kiosk_public_keys=setup.registrar.kiosk_public_keys,
+        )
+        return kiosk, official
+
+    def test_attack_produces_wrong_observable_order(self, small_setup):
+        kiosk, official = self._actors(small_setup)
+        session = kiosk.authorize(official.check_in("alice"))
+        envelope = small_setup.envelope_supply[0]
+        kiosk.issue_claimed_real_credential(session, envelope)
+        # The voter-observable Σ order is NOT the sound order: a trained voter
+        # can notice (this is what the §7.5 detection rates measure).
+        assert not session.real_sigma.is_sound_order
+
+    def test_attack_survives_activation_checks(self, small_setup):
+        """The forged credential passes every device-side check — detection
+        rests entirely on the voter noticing the wrong order in the booth."""
+        kiosk, official = self._actors(small_setup)
+        voter = Voter("alice", num_fake_credentials=0)
+        session = kiosk.authorize(official.check_in("alice"))
+        envelope = small_setup.envelope_supply[0]
+        receipt = kiosk.issue_claimed_real_credential(session, envelope)
+        credential = voter.assemble_credential(receipt, envelope, is_real=True, observed_sound_order=False)
+        official.check_out_ticket(session.check_out_ticket)
+        vsd = VoterSupportingDevice(
+            group=small_setup.group,
+            board=small_setup.board,
+            voter_id="alice",
+            kiosk_public_keys=small_setup.registrar.kiosk_public_keys,
+            authority_public_key=small_setup.authority_public_key,
+        )
+        report = vsd.activate(credential)
+        assert report.success
+
+    def test_attack_steals_the_counting_credential(self, small_setup):
+        kiosk, official = self._actors(small_setup)
+        session = kiosk.authorize(official.check_in("alice"))
+        receipt = kiosk.issue_claimed_real_credential(session, small_setup.envelope_supply[0])
+        victim_public = small_setup.group.power(receipt.response_code.credential_secret)
+        decrypted_tag = small_setup.authority.decrypt(receipt.commit_code.public_credential)
+        # The tag encrypts the adversary's key, not the victim's.
+        assert decrypted_tag != victim_public
+        assert decrypted_tag == kiosk.stolen_keypairs[0].public
+
+    def test_forged_transcript_still_verifies_on_paper(self, small_setup):
+        kiosk, official = self._actors(small_setup)
+        session = kiosk.authorize(official.check_in("alice"))
+        envelope = small_setup.envelope_supply[0]
+        receipt = kiosk.issue_claimed_real_credential(session, envelope)
+        group = small_setup.group
+        victim_public = group.power(receipt.response_code.credential_secret)
+        statement = kiosk._statement(receipt.commit_code.public_credential, victim_public)
+        from repro.crypto.chaum_pedersen import ChaumPedersenTranscript
+
+        transcript = ChaumPedersenTranscript(
+            statement=statement,
+            commit=receipt.commit_code.commit,
+            challenge=envelope.challenge,
+            response=receipt.response_code.zkp_response,
+        )
+        assert chaum_pedersen_verify(transcript)

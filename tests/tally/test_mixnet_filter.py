@@ -1,0 +1,142 @@
+"""Tuple mixing, ballot deduplication and tag-based filtering."""
+
+import pytest
+
+from repro.crypto.schnorr import schnorr_keygen, schnorr_sign
+from repro.crypto.tagging import TaggingAuthority
+from repro.ledger.bulletin_board import BallotRecord
+from repro.tally.filter import deduplicate_ballots, filter_ballots
+from repro.tally.mixnet import (
+    TupleShuffle,
+    shuffle_tuples_with_proof,
+    tuple_mix_cascade,
+    verify_tuple_cascade,
+    verify_tuple_shuffle,
+)
+
+
+@pytest.fixture()
+def pairs(group, elgamal, dkg):
+    """(vote, credential) ciphertext pairs for five distinct plaintexts."""
+    return [
+        (
+            elgamal.encrypt(dkg.public_key, group.encode_int(value % 2)),
+            elgamal.encrypt(dkg.public_key, group.power(100 + value)),
+        )
+        for value in range(5)
+    ]
+
+
+class TestTupleShuffle:
+    def test_honest_shuffle_verifies(self, elgamal, dkg, pairs):
+        shuffled = shuffle_tuples_with_proof(elgamal, dkg.public_key, pairs, rounds=6)
+        assert verify_tuple_shuffle(elgamal, dkg.public_key, pairs, shuffled)
+
+    def test_pairs_stay_linked(self, group, elgamal, dkg, pairs):
+        shuffled = shuffle_tuples_with_proof(elgamal, dkg.public_key, pairs, rounds=4)
+        decrypted = sorted(
+            [
+                (group.decode_int(dkg.decrypt(vote)), dkg.decrypt(credential))
+                for vote, credential in shuffled.outputs
+            ],
+            key=lambda pair: pair[1].to_bytes(),
+        )
+        original = sorted(
+            [(value % 2, group.power(100 + value)) for value in range(5)],
+            key=lambda pair: pair[1].to_bytes(),
+        )
+        assert decrypted == original
+
+    def test_tampered_output_rejected(self, group, elgamal, dkg, pairs):
+        shuffled = shuffle_tuples_with_proof(elgamal, dkg.public_key, pairs, rounds=6)
+        outputs = list(shuffled.outputs)
+        outputs[0] = (outputs[0][0], elgamal.encrypt(dkg.public_key, group.power(999)))
+        tampered = TupleShuffle(outputs=outputs, rounds=shuffled.rounds)
+        assert not verify_tuple_shuffle(elgamal, dkg.public_key, pairs, tampered)
+
+    def test_cascade(self, elgamal, dkg, pairs):
+        cascade = tuple_mix_cascade(elgamal, dkg.public_key, pairs, num_mixers=3, rounds=3)
+        assert len(cascade.stages) == 3
+        assert verify_tuple_cascade(elgamal, dkg.public_key, pairs, cascade)
+
+    def test_single_tuples(self, group, elgamal, dkg):
+        singles = [(elgamal.encrypt(dkg.public_key, group.power(value)),) for value in range(3)]
+        shuffled = shuffle_tuples_with_proof(elgamal, dkg.public_key, singles, rounds=4)
+        assert verify_tuple_shuffle(elgamal, dkg.public_key, singles, shuffled)
+
+
+class TestDeduplication:
+    def _record(self, group, keypair, value: int) -> BallotRecord:
+        from repro.crypto.elgamal import ElGamal
+
+        ciphertext = ElGamal(group).encrypt(group.power(3), group.encode_int(value))
+        return BallotRecord(
+            credential_public_key=keypair.public,
+            ciphertext_c1=ciphertext.c1,
+            ciphertext_c2=ciphertext.c2,
+            signature=schnorr_sign(keypair, b"b"),
+        )
+
+    def test_last_ballot_per_credential_wins(self, group):
+        keypair = schnorr_keygen(group)
+        first = self._record(group, keypair, 0)
+        second = self._record(group, keypair, 1)
+        deduplicated = deduplicate_ballots([first, second])
+        assert deduplicated == [second]
+
+    def test_distinct_credentials_kept(self, group):
+        a = self._record(group, schnorr_keygen(group), 0)
+        b = self._record(group, schnorr_keygen(group), 1)
+        assert len(deduplicate_ballots([a, b])) == 2
+
+    def test_empty_input(self):
+        assert deduplicate_ballots([]) == []
+
+
+class TestTagFiltering:
+    def test_real_counted_fake_discarded(self, group, elgamal, dkg):
+        tagging = TaggingAuthority.create(group, dkg.num_members)
+        real = schnorr_keygen(group)
+        fake = schnorr_keygen(group)
+        registration_tag = elgamal.encrypt(dkg.public_key, real.public)
+        mixed_pairs = [
+            (elgamal.encrypt(dkg.public_key, group.encode_int(1)), elgamal.encrypt(dkg.public_key, real.public)),
+            (elgamal.encrypt(dkg.public_key, group.encode_int(0)), elgamal.encrypt(dkg.public_key, fake.public)),
+        ]
+        result = filter_ballots(dkg, tagging, mixed_pairs, [registration_tag], verify=False)
+        assert len(result.counted) == 1
+        assert result.discarded == 1
+        assert group.decode_int(dkg.decrypt(result.counted[0])) == 1
+
+    def test_at_most_one_ballot_per_registration(self, group, elgamal, dkg):
+        """A second ballot with the same (real) credential counts as a duplicate."""
+        tagging = TaggingAuthority.create(group, dkg.num_members)
+        real = schnorr_keygen(group)
+        registration_tag = elgamal.encrypt(dkg.public_key, real.public)
+        pair = lambda v: (
+            elgamal.encrypt(dkg.public_key, group.encode_int(v)),
+            elgamal.encrypt(dkg.public_key, real.public),
+        )
+        result = filter_ballots(dkg, tagging, [pair(1), pair(0)], [registration_tag], verify=False)
+        assert len(result.counted) == 1
+        assert result.duplicate_tags == 1
+
+    def test_no_registrations_counts_nothing(self, group, elgamal, dkg):
+        tagging = TaggingAuthority.create(group, dkg.num_members)
+        fake = schnorr_keygen(group)
+        pairs = [
+            (elgamal.encrypt(dkg.public_key, group.encode_int(0)), elgamal.encrypt(dkg.public_key, fake.public))
+        ]
+        result = filter_ballots(dkg, tagging, pairs, [], verify=False)
+        assert result.counted == []
+        assert result.discarded == 1
+
+    def test_tags_exposed_for_audit(self, group, elgamal, dkg):
+        tagging = TaggingAuthority.create(group, dkg.num_members)
+        real = schnorr_keygen(group)
+        registration_tag = elgamal.encrypt(dkg.public_key, real.public)
+        pairs = [
+            (elgamal.encrypt(dkg.public_key, group.encode_int(1)), elgamal.encrypt(dkg.public_key, real.public))
+        ]
+        result = filter_ballots(dkg, tagging, pairs, [registration_tag], verify=False)
+        assert result.ballot_tags[0] == result.registration_tags[0]
