@@ -1,0 +1,12 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``.  Modern PEP 660 editable installs
+need ``wheel`` at build time; hermetic containers that lack it can fall back
+to the legacy path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -74,6 +74,30 @@ class ResultTable:
         print("\n" + self.render() + "\n")
 
 
+def format_speedup(baseline_seconds: float, value_seconds: float) -> str:
+    """Render ``baseline/value`` as a speedup factor (e.g. ``3.2x``)."""
+    if value_seconds <= 0:
+        return "-"
+    return f"{baseline_seconds / value_seconds:.2f}x"
+
+
+def speedup_table(
+    title: str,
+    baseline_label: str,
+    timings: "Dict[str, float]",
+) -> ResultTable:
+    """A table of wall-clock timings with a speedup column vs. a baseline.
+
+    ``timings`` maps a configuration label (e.g. ``"process:4"``) to wall
+    seconds; the entry named ``baseline_label`` anchors the speedup column.
+    """
+    baseline = timings[baseline_label]
+    table = ResultTable(title=title, columns=["backend", "wall clock", "speedup"])
+    for label, seconds in timings.items():
+        table.add_row(label, format_seconds(seconds), format_speedup(baseline, seconds))
+    return table
+
+
 def series_to_table(title: str, points: Iterable[SeriesPoint], x_label: str = "voters") -> ResultTable:
     """Pivot a list of series points into a table with one column per series."""
     by_series: Dict[str, Dict[float, SeriesPoint]] = {}

@@ -2,12 +2,20 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import secrets
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.crypto.dkg import DistributedKeyGeneration
+from repro.crypto.elgamal import ElGamal
 from repro.crypto.group import Group
+from repro.crypto.hashing import sha256
 from repro.crypto.modp_group import testing_group
+from repro.crypto.schnorr import schnorr_keygen, schnorr_sign
 from repro.election.config import ElectionConfig
+from repro.ledger.bulletin_board import BulletinBoard, RegistrationRecord
 from repro.registration.setup import ElectionSetup
+from repro.runtime.precompute import warm_fixed_base
+from repro.voting.ballot import make_ballot
 
 
 def registration_workload(
@@ -24,6 +32,55 @@ def registration_workload(
         num_authority_members=num_authority_members,
         envelopes_per_voter=envelopes_per_voter,
     )
+
+
+def tally_workload(
+    group: Group,
+    num_voters: int,
+    num_options: int = 2,
+    num_authority_members: int = 4,
+) -> Tuple[DistributedKeyGeneration, BulletinBoard]:
+    """A voted bulletin board ready for :class:`repro.tally.pipeline.TallyPipeline`.
+
+    Synthesizes registrations and ballots directly (valid credentials, public
+    credential tags, signed well-formed ballots) without the in-person TRIP
+    ceremony, so tally-phase benchmarks can run over groups the kiosk
+    peripherals cannot physically carry — e.g. the 2048-bit large-modulus
+    setting, whose credential keys exceed the QR capacity the hardware model
+    faithfully enforces.
+    """
+    authority = DistributedKeyGeneration.run(group, num_authority_members)
+    warm_fixed_base(group.generator)
+    warm_fixed_base(authority.public_key)
+    board = BulletinBoard()
+    voter_ids = [f"voter-{index:06d}" for index in range(num_voters)]
+    board.publish_electoral_roll(voter_ids)
+    elgamal = ElGamal(group)
+    kiosk = schnorr_keygen(group)
+    official = schnorr_keygen(group)
+    for voter_id in voter_ids:
+        credential = schnorr_keygen(group)
+        tag = elgamal.encrypt(authority.public_key, credential.public)
+        board.post_registration(
+            RegistrationRecord(
+                voter_id=voter_id,
+                public_credential_c1=tag.c1,
+                public_credential_c2=tag.c2,
+                kiosk_public_key=kiosk.public,
+                kiosk_signature=schnorr_sign(kiosk, sha256(b"bench-checkout", voter_id.encode())),
+                official_public_key=official.public,
+                official_signature=schnorr_sign(official, sha256(b"bench-approval", voter_id.encode())),
+            )
+        )
+        ballot = make_ballot(
+            group,
+            authority.public_key,
+            credential,
+            choice=secrets.randbelow(num_options),
+            num_options=num_options,
+        )
+        board.post_ballot(ballot.to_record())
+    return authority, board
 
 
 def election_workload(

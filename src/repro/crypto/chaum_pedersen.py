@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.crypto.group import Group, GroupElement
+from repro.crypto.hashing import scalar_bytes
 from repro.errors import ProtocolError
 
 
@@ -82,8 +83,8 @@ class ChaumPedersenTranscript:
         return (
             self.statement.to_bytes()
             + self.commit.to_bytes()
-            + self.challenge.to_bytes(64, "big")
-            + self.response.to_bytes(64, "big")
+            + scalar_bytes(self.challenge)
+            + scalar_bytes(self.response)
         )
 
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.crypto.group import Group, GroupElement
+from repro.crypto.hashing import scalar_bytes
 
 
 @dataclass(frozen=True)
@@ -28,7 +29,7 @@ class DlogProof:
             self.base.to_bytes()
             + self.value.to_bytes()
             + self.commitment.to_bytes()
-            + self.response.to_bytes(64, "big")
+            + scalar_bytes(self.response)
         )
 
 

@@ -23,6 +23,24 @@ from typing import Optional, Sequence
 from repro.crypto.group import Group, GroupElement
 from repro.errors import VerificationError
 
+# Optional fixed-base accelerator for ``base ** scalar`` on hot bases (the
+# election public key, above all).  Installed by importing
+# :mod:`repro.runtime.precompute`; left unset, the reference path runs.
+_element_power_hook = None
+
+
+def set_element_power_hook(hook) -> None:
+    """Install (or clear, with ``None``) the fixed-base exponentiation hook."""
+    global _element_power_hook
+    _element_power_hook = hook
+
+
+def _power(base: GroupElement, scalar: int) -> GroupElement:
+    hook = _element_power_hook
+    if hook is not None:
+        return hook(base, scalar)
+    return base.exponentiate(scalar)
+
 
 @dataclass(frozen=True)
 class ElGamalKeyPair:
@@ -100,7 +118,7 @@ class ElGamal:
         randomness: Optional[int] = None,
     ) -> ElGamalCiphertext:
         r = randomness if randomness is not None else self.group.random_scalar()
-        return ElGamalCiphertext(self.group.power(r), (public_key ** r) * message)
+        return ElGamalCiphertext(self.group.power(r), _power(public_key, r) * message)
 
     def decrypt(self, secret_key: int, ciphertext: ElGamalCiphertext) -> GroupElement:
         return ciphertext.c2 * (ciphertext.c1 ** secret_key).inverse()
@@ -127,7 +145,7 @@ class ElGamal:
         r = randomness if randomness is not None else self.group.random_scalar()
         return ElGamalCiphertext(
             ciphertext.c1 * self.group.power(r),
-            ciphertext.c2 * (public_key ** r),
+            ciphertext.c2 * _power(public_key, r),
         )
 
     def encrypt_identity(self, public_key: GroupElement, randomness: Optional[int] = None) -> ElGamalCiphertext:

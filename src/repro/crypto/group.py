@@ -23,7 +23,22 @@ import abc
 import hashlib
 import secrets
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable, Optional
+
+# An optional accelerator for generator exponentiations, installed by
+# :mod:`repro.runtime.precompute` (fixed-base tables).  The hook returns
+# ``None`` when it declines (disabled, small group), in which case the plain
+# square-and-multiply reference path runs.  Kept as a late-bound module
+# global so the crypto layer has no import-time dependency on the runtime.
+_power_accelerator: Optional[Callable[["Group", int], Optional["GroupElement"]]] = None
+
+
+def set_power_accelerator(
+    hook: Optional[Callable[["Group", int], Optional["GroupElement"]]],
+) -> None:
+    """Install (or clear, with ``None``) the fixed-base generator accelerator."""
+    global _power_accelerator
+    _power_accelerator = hook
 
 
 class GroupElement(abc.ABC):
@@ -126,7 +141,12 @@ class Group(abc.ABC):
     # Convenience ------------------------------------------------------------
 
     def power(self, scalar: int) -> GroupElement:
-        """g**scalar for the fixed generator."""
+        """g**scalar for the fixed generator (fixed-base accelerated when hot)."""
+        hook = _power_accelerator
+        if hook is not None:
+            result = hook(self, scalar)
+            if result is not None:
+                return result
         return self.generator.exponentiate(scalar)
 
     def encode_int(self, value: int) -> GroupElement:

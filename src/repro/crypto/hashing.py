@@ -30,3 +30,14 @@ def sha512(*parts: bytes) -> bytes:
 def hash_hex(*parts: bytes) -> str:
     """Convenience: the hex digest of :func:`sha256`."""
     return sha256(*parts).hex()
+
+
+def scalar_bytes(value: int) -> bytes:
+    """A deterministic big-endian encoding for a group scalar.
+
+    Fixed 64 bytes (the historical width, covering every ≤512-bit order) so
+    existing transcripts keep their byte layout, widening only for the
+    large-modulus groups (2048/3072-bit orders) that overflow it.
+    """
+    width = max(64, (value.bit_length() + 7) // 8)
+    return value.to_bytes(width, "big")

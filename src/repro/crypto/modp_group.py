@@ -114,6 +114,13 @@ class ModPGroup(Group):
         """Subgroup membership test: x^q == 1 mod p."""
         return pow(element.value, self._order, self.modulus) == 1
 
+    def __reduce__(self):
+        # Groups are compared by identity (``is``) in element operations, so
+        # pickling — e.g. shipping work to a :class:`ProcessExecutor` worker —
+        # must resolve back to the per-process canonical instance for these
+        # parameters rather than construct a fresh object.
+        return (_group_from_params, (self.name, self.modulus, self._order, self._generator.value))
+
 
 # ---------------------------------------------------------------------------
 # Parameter presets
@@ -168,11 +175,22 @@ def _quadratic_residue_generator(p: int) -> int:
 
 
 @lru_cache(maxsize=None)
+def _group_from_params(name: str, modulus: int, order: int, generator: int) -> ModPGroup:
+    """The canonical (per-process) group instance for a parameter set.
+
+    Both the preset factories below and :meth:`ModPGroup.__reduce__` resolve
+    through this cache, so elements that round-trip through pickle (process
+    executors) land back on the same group object as locally created ones.
+    """
+    return ModPGroup(name, modulus, order, generator)
+
+
+@lru_cache(maxsize=None)
 def modp_group_2048() -> ModPGroup:
     """The 2048-bit "Civitas-style" large-modulus group."""
     p = _RFC3526_2048_P
     q = (p - 1) // 2
-    return ModPGroup("modp-2048", p, q, _quadratic_residue_generator(p))
+    return _group_from_params("modp-2048", p, q, _quadratic_residue_generator(p))
 
 
 @lru_cache(maxsize=None)
@@ -180,7 +198,7 @@ def modp_group_3072() -> ModPGroup:
     """A 3072-bit large-modulus group (higher-security Civitas setting)."""
     p = _RFC3526_3072_P
     q = (p - 1) // 2
-    return ModPGroup("modp-3072", p, q, _quadratic_residue_generator(p))
+    return _group_from_params("modp-3072", p, q, _quadratic_residue_generator(p))
 
 
 @lru_cache(maxsize=None)
@@ -188,7 +206,7 @@ def modp_group_256() -> ModPGroup:
     """A 256-bit safe-prime group whose exponent size matches edwards25519."""
     if not _is_probable_prime(_SAFE_256_Q) or not _is_probable_prime(_SAFE_256_P):
         raise RuntimeError("256-bit preset parameters are not prime")  # pragma: no cover
-    return ModPGroup("modp-256", _SAFE_256_P, _SAFE_256_Q, _quadratic_residue_generator(_SAFE_256_P))
+    return _group_from_params("modp-256", _SAFE_256_P, _SAFE_256_Q, _quadratic_residue_generator(_SAFE_256_P))
 
 
 @lru_cache(maxsize=None)
@@ -196,7 +214,7 @@ def testing_group() -> ModPGroup:
     """A tiny, fast, **insecure** group for unit tests only."""
     if not _is_probable_prime(_TOY_Q) or not _is_probable_prime(_TOY_P):
         raise RuntimeError("testing group parameters are not prime")  # pragma: no cover
-    return ModPGroup("modp-toy-INSECURE", _TOY_P, _TOY_Q, _quadratic_residue_generator(_TOY_P))
+    return _group_from_params("modp-toy-INSECURE", _TOY_P, _TOY_Q, _quadratic_residue_generator(_TOY_P))
 
 
 def _is_probable_prime(n: int, rounds: int = 20) -> bool:

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.crypto.group import Group, GroupElement
+from repro.crypto.hashing import scalar_bytes
 
 
 @dataclass(frozen=True)
@@ -34,7 +35,7 @@ class SchnorrSignature:
     response: int
 
     def to_bytes(self) -> bytes:
-        return self.commitment.to_bytes() + self.response.to_bytes(64, "big")
+        return self.commitment.to_bytes() + scalar_bytes(self.response)
 
 
 def schnorr_keygen(group: Group, secret: Optional[int] = None) -> SigningKeyPair:
@@ -48,13 +49,17 @@ def public_key_from_secret(group: Group, secret: int) -> GroupElement:
     return group.power(secret)
 
 
-def _challenge(group: Group, commitment: GroupElement, public: GroupElement, message: bytes) -> int:
+def schnorr_challenge(group: Group, commitment: GroupElement, public: GroupElement, message: bytes) -> int:
+    """The Fiat–Shamir challenge ``H(R, pk, m)`` (shared with batch verification)."""
     return group.hash_to_scalar(
         b"schnorr-signature",
         commitment.to_bytes(),
         public.to_bytes(),
         message,
     )
+
+
+_challenge = schnorr_challenge
 
 
 def schnorr_sign(keypair: SigningKeyPair, message: bytes, nonce: Optional[int] = None) -> SchnorrSignature:

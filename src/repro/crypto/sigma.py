@@ -22,6 +22,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.crypto.hashing import scalar_bytes
 from repro.errors import ProtocolError
 
 
@@ -88,8 +89,8 @@ class SigmaTranscript:
         return sha256(
             self.statement,
             self.commit,
-            self.challenge.to_bytes(64, "big"),
-            self.response.to_bytes(64, "big", signed=False),
+            scalar_bytes(self.challenge),
+            scalar_bytes(self.response),
         )
 
 

@@ -7,6 +7,7 @@ from typing import Callable, List, Optional
 
 from repro.crypto.group import Group
 from repro.crypto.modp_group import testing_group
+from repro.runtime.executor import Executor, executor_from_spec
 
 
 @dataclass
@@ -16,6 +17,11 @@ class ElectionConfig:
     The defaults favour fast simulation (toy group, few proof rounds); the
     benchmarks override ``group`` with Ed25519 or the 2048-bit group and raise
     ``proof_rounds`` when measuring realistic costs.
+
+    ``executor_spec`` selects the :mod:`repro.runtime` backend the tally's
+    parallel stages run on — ``"serial"`` (default), ``"thread[:N]"`` or
+    ``"process[:N]"`` with ``N`` workers (defaulting to the CPUs available).
+    Every backend produces bit-identical results; only the wall clock moves.
     """
 
     num_voters: int = 10
@@ -28,6 +34,7 @@ class ElectionConfig:
     election_id: str = "default"
     hardware_profile: str = "H1"
     group_factory: Callable[[], Group] = testing_group
+    executor_spec: str = "serial"
 
     def voter_ids(self) -> List[str]:
         width = max(4, len(str(self.num_voters)))
@@ -35,3 +42,6 @@ class ElectionConfig:
 
     def make_group(self) -> Group:
         return self.group_factory()
+
+    def make_executor(self) -> Executor:
+        return executor_from_spec(self.executor_spec)

@@ -64,10 +64,26 @@ class VotegralElection:
     def __init__(self, config: Optional[ElectionConfig] = None):
         self.config = config or ElectionConfig()
         self.group = self.config.make_group()
+        self.executor = self.config.make_executor()
         self.setup: Optional[ElectionSetup] = None
         self.clients: Dict[str, VotingClient] = {}
         self.outcomes: List[RegistrationOutcome] = []
         self.timing = PhaseTiming()
+
+    def close(self) -> None:
+        """Release the runtime executor's worker pool (if any).
+
+        Pool-backed executors (``thread``/``process`` specs) hold OS threads
+        or processes; long-lived callers running many elections should close
+        each one (or use the election as a context manager).
+        """
+        self.executor.close()
+
+    def __enter__(self) -> "VotegralElection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ phases
 
@@ -138,11 +154,12 @@ class VotegralElection:
             authority=self.setup.authority,
             num_mixers=self.config.num_mixers,
             proof_rounds=self.config.proof_rounds,
+            executor=self.executor,
         )
         result = pipeline.run(self.setup.board, self.config.num_options, self.config.election_id)
         self.timing.tally_seconds = time.perf_counter() - start
         self._verified = verify_tally(self.group, self.setup.authority, self.setup.board, result,
-                                      self.config.election_id) if verify else False
+                                      self.config.election_id, executor=self.executor) if verify else False
         return result
 
     # ------------------------------------------------------------------ end-to-end

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.crypto.group import GroupElement
-from repro.crypto.hashing import sha256
+from repro.crypto.hashing import scalar_bytes, sha256
 from repro.crypto.schnorr import SchnorrSignature
 from repro.errors import LedgerError
 from repro.ledger.log import AppendOnlyLog
@@ -77,7 +77,7 @@ class EnvelopeUsageRecord:
     challenge_hash: bytes
 
     def payload(self) -> bytes:
-        return sha256(b"envelope-usage", self.challenge.to_bytes(64, "big"), self.challenge_hash)
+        return sha256(b"envelope-usage", scalar_bytes(self.challenge), self.challenge_hash)
 
 
 @dataclass(frozen=True)

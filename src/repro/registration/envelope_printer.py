@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.crypto.group import Group
-from repro.crypto.hashing import sha256
+from repro.crypto.hashing import scalar_bytes, sha256
 from repro.crypto.schnorr import SigningKeyPair, schnorr_sign
 from repro.ledger.bulletin_board import BulletinBoard, EnvelopeCommitmentRecord
 from repro.registration.materials import Envelope, EnvelopeSymbol
@@ -39,7 +39,7 @@ class EnvelopePrinter:
 
     def _print_one(self, symbol: EnvelopeSymbol, challenge: Optional[int] = None) -> Envelope:
         challenge = challenge if challenge is not None else self.group.random_scalar()
-        challenge_hash = sha256(b"envelope-challenge", challenge.to_bytes(64, "big"))
+        challenge_hash = sha256(b"envelope-challenge", scalar_bytes(challenge))
         signature = schnorr_sign(self.keypair, challenge_hash)
         envelope = Envelope(
             symbol=symbol,

@@ -30,7 +30,7 @@ from repro.crypto.chaum_pedersen import (
 )
 from repro.crypto.elgamal import ElGamalCiphertext
 from repro.crypto.group import Group, GroupElement
-from repro.crypto.hashing import sha256
+from repro.crypto.hashing import scalar_bytes, sha256
 from repro.crypto.schnorr import SchnorrSignature
 from repro.errors import ProtocolError
 from repro.peripherals.qr import Barcode, QRCode
@@ -103,7 +103,7 @@ class Envelope:
 
     @property
     def challenge_hash(self) -> bytes:
-        return sha256(b"envelope-challenge", self.challenge.to_bytes(64, "big"))
+        return sha256(b"envelope-challenge", scalar_bytes(self.challenge))
 
     def to_qr(self, group: Group) -> QRCode:
         payload = (
@@ -148,7 +148,7 @@ def response_message(credential_public: GroupElement, challenge: int, response: 
     return sha256(
         b"response-code",
         credential_public.to_bytes(),
-        sha256(challenge.to_bytes(64, "big"), response.to_bytes(64, "big")),
+        sha256(scalar_bytes(challenge), scalar_bytes(response)),
     )
 
 

@@ -26,6 +26,7 @@ from repro.crypto.schnorr import SigningKeyPair, schnorr_keygen
 from repro.ledger.bulletin_board import BulletinBoard
 from repro.registration.envelope_printer import EnvelopePrinter
 from repro.registration.materials import Envelope
+from repro.runtime.precompute import warm_fixed_base
 
 
 @dataclass
@@ -100,6 +101,14 @@ class ElectionSetup:
         board.publish_electoral_roll(voter_ids)
 
         authority = DistributedKeyGeneration.run(group, num_authority_members)
+
+        # The two bases every later phase exponentiates millions of times —
+        # the generator (credential key generation, Schnorr commitments) and
+        # the collective public key (every public-credential-tag and ballot
+        # encryption) — get their fixed-base tables up front.  No-ops for the
+        # small testing group.
+        warm_fixed_base(group.generator)
+        warm_fixed_base(authority.public_key)
 
         registrar = RegistrarKeys(
             official_keys=[schnorr_keygen(group) for _ in range(num_officials)],

@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.crypto.dkg import DistributedKeyGeneration
 from repro.crypto.elgamal import ElGamalCiphertext
 from repro.errors import TallyError
+from repro.runtime.executor import Executor
+from repro.runtime.sharding import parallel_starmap
 
 
 @dataclass(frozen=True)
@@ -17,22 +19,38 @@ class DecryptedVote:
     choice: int
 
 
+def _decrypt_one(
+    dkg: DistributedKeyGeneration,
+    ciphertext: ElGamalCiphertext,
+    num_options: int,
+    verify: bool,
+) -> DecryptedVote:
+    """Decrypt one ballot — module-level so process executors can run it."""
+    plaintext = dkg.decrypt(ciphertext, verify=verify)
+    try:
+        choice = dkg.group.decode_int(plaintext, max_value=num_options - 1)
+    except ValueError as exc:
+        raise TallyError("a counted ballot does not encode a valid candidate") from exc
+    return DecryptedVote(choice=choice)
+
+
 def decrypt_votes(
     dkg: DistributedKeyGeneration,
     ciphertexts: Sequence[ElGamalCiphertext],
     num_options: int,
     verify: bool = True,
+    executor: Optional[Executor] = None,
 ) -> List[DecryptedVote]:
-    """Jointly decrypt the counted ballots (exponential ElGamal decode)."""
-    votes: List[DecryptedVote] = []
-    for ciphertext in ciphertexts:
-        plaintext = dkg.decrypt(ciphertext, verify=verify)
-        try:
-            choice = dkg.group.decode_int(plaintext, max_value=num_options - 1)
-        except ValueError as exc:
-            raise TallyError("a counted ballot does not encode a valid candidate") from exc
-        votes.append(DecryptedVote(choice=choice))
-    return votes
+    """Jointly decrypt the counted ballots (exponential ElGamal decode).
+
+    Each ballot decrypts independently, so the work shards across the
+    executor; ballot order (and thus the published vote list) is preserved.
+    """
+    return parallel_starmap(
+        _decrypt_one,
+        [(dkg, ciphertext, num_options, verify) for ciphertext in ciphertexts],
+        executor=executor,
+    )
 
 
 def aggregate(votes: Sequence[DecryptedVote], num_options: int) -> Dict[int, int]:

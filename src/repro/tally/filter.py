@@ -12,13 +12,15 @@ with real credentials.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.dkg import DistributedKeyGeneration
 from repro.crypto.elgamal import ElGamalCiphertext
 from repro.crypto.group import GroupElement
 from repro.crypto.tagging import TaggingAuthority
 from repro.ledger.bulletin_board import BallotRecord
+from repro.runtime.executor import Executor
+from repro.runtime.sharding import parallel_starmap
 
 
 @dataclass(frozen=True)
@@ -44,12 +46,23 @@ def deduplicate_ballots(records: Sequence[BallotRecord]) -> List[BallotRecord]:
     return list(latest.values())
 
 
+def _blinded_tag_bytes(
+    tagging: TaggingAuthority,
+    dkg: DistributedKeyGeneration,
+    ciphertext: ElGamalCiphertext,
+    verify: bool,
+) -> bytes:
+    """One tag derivation — module-level so process executors can run it."""
+    return tagging.blind_and_decrypt(dkg, ciphertext, verify=verify).to_bytes()
+
+
 def filter_ballots(
     dkg: DistributedKeyGeneration,
     tagging: TaggingAuthority,
     mixed_pairs: Sequence[Tuple[ElGamalCiphertext, ElGamalCiphertext]],
     mixed_registration_tags: Sequence[ElGamalCiphertext],
     verify: bool = True,
+    executor: Optional[Executor] = None,
 ) -> FilterResult:
     """Match mixed ballots against mixed registration tags.
 
@@ -58,20 +71,23 @@ def filter_ballots(
     ciphertexts from the registration ledger.  Both sides are raised to the
     tagging exponent and threshold-decrypted to blinded tags; the join keeps
     at most one ballot per registration tag.
+
+    Tag derivation is independent per ciphertext, so both sides fan out over
+    the executor in one batch; the join itself stays serial (it is a linear
+    hash join, §7.4).
     """
-    registration_tags: List[bytes] = []
-    for ciphertext in mixed_registration_tags:
-        tag = tagging.blind_and_decrypt(dkg, ciphertext, verify=verify)
-        registration_tags.append(tag.to_bytes())
+    tag_jobs = [(tagging, dkg, ciphertext, verify) for ciphertext in mixed_registration_tags]
+    tag_jobs += [(tagging, dkg, credential_ciphertext, verify) for _, credential_ciphertext in mixed_pairs]
+    all_tags = parallel_starmap(_blinded_tag_bytes, tag_jobs, executor=executor)
+    registration_tags = all_tags[: len(mixed_registration_tags)]
+    pair_tags = all_tags[len(mixed_registration_tags) :]
 
     counted: List[ElGamalCiphertext] = []
     ballot_tags: List[bytes] = []
     discarded = 0
     duplicate_tags = 0
     remaining = set(registration_tags)
-    for vote_ciphertext, credential_ciphertext in mixed_pairs:
-        tag = tagging.blind_and_decrypt(dkg, credential_ciphertext, verify=verify)
-        tag_bytes = tag.to_bytes()
+    for (vote_ciphertext, _), tag_bytes in zip(mixed_pairs, pair_tags):
         ballot_tags.append(tag_bytes)
         if tag_bytes in remaining:
             counted.append(vote_ciphertext)

@@ -12,13 +12,16 @@ from __future__ import annotations
 
 import secrets
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.crypto.elgamal import ElGamal, ElGamalCiphertext
 from repro.crypto.group import GroupElement
 from repro.crypto.hashing import sha256
 from repro.crypto.shuffle import DEFAULT_SOUNDNESS_ROUNDS, random_permutation
 from repro.errors import VerificationError
+from repro.runtime.batch import batch_reencryption_verify
+from repro.runtime.executor import Executor, SerialExecutor
+from repro.runtime.sharding import parallel_starmap
 
 CiphertextTuple = Tuple[ElGamalCiphertext, ...]
 
@@ -57,20 +60,20 @@ def _reencrypt_tuple(
     )
 
 
-def _shuffle_once(
+def _plan_shuffle(
     elgamal: ElGamal,
-    public_key: GroupElement,
-    inputs: Sequence[CiphertextTuple],
-) -> Tuple[List[CiphertextTuple], List[int], List[List[int]]]:
-    n = len(inputs)
-    arity = len(inputs[0]) if inputs else 0
-    permutation = random_permutation(n)
-    randomness = [[elgamal.group.random_scalar() for _ in range(arity)] for _ in range(n)]
-    outputs = [
-        _reencrypt_tuple(elgamal, public_key, inputs[source], randomness[position])
-        for position, source in enumerate(permutation)
-    ]
-    return outputs, permutation, randomness
+    num_items: int,
+    arity: int,
+) -> Tuple[List[int], List[List[int]]]:
+    """Draw the secret part of one shuffle: a permutation plus fresh randomness.
+
+    All randomness is drawn serially in the caller's thread — workers only
+    ever compute the *deterministic* re-encryptions, which is what keeps
+    parallel mixes bit-identical to serial ones for a fixed randomness tape.
+    """
+    permutation = random_permutation(num_items)
+    randomness = [[elgamal.group.random_scalar() for _ in range(arity)] for _ in range(num_items)]
+    return permutation, randomness
 
 
 def _tuple_bytes(item: CiphertextTuple) -> bytes:
@@ -106,18 +109,31 @@ def shuffle_tuples_with_proof(
     public_key: GroupElement,
     inputs: Sequence[CiphertextTuple],
     rounds: int = DEFAULT_SOUNDNESS_ROUNDS,
+    executor: Optional[Executor] = None,
 ) -> TupleShuffle:
-    """Shuffle ciphertext tuples with a cut-and-choose proof."""
-    outputs, permutation, randomness = _shuffle_once(elgamal, public_key, inputs)
+    """Shuffle ciphertext tuples with a cut-and-choose proof.
 
-    shadows: List[List[CiphertextTuple]] = []
-    shadow_perms: List[List[int]] = []
-    shadow_rands: List[List[List[int]]] = []
-    for _ in range(rounds):
-        shadow, perm, rand = _shuffle_once(elgamal, public_key, inputs)
-        shadows.append(shadow)
-        shadow_perms.append(perm)
-        shadow_rands.append(rand)
+    The real shuffle and the ``rounds`` shadow shuffles are independent, so
+    their ``(rounds + 1) · n`` re-encryptions are flattened into one fan-out
+    over the executor.  Permutations and randomness are drawn up front in the
+    calling thread (see :func:`_plan_shuffle`).
+    """
+    n = len(inputs)
+    arity = len(inputs[0]) if inputs else 0
+
+    plans = [_plan_shuffle(elgamal, n, arity) for _ in range(rounds + 1)]
+    tasks = [
+        (elgamal, public_key, inputs[source], plan_randomness[position])
+        for plan_permutation, plan_randomness in plans
+        for position, source in enumerate(plan_permutation)
+    ]
+    flat = parallel_starmap(_reencrypt_tuple, tasks, executor=executor)
+
+    permutation, randomness = plans[0]
+    outputs = flat[:n]
+    shadows: List[List[CiphertextTuple]] = [flat[(index + 1) * n : (index + 2) * n] for index in range(rounds)]
+    shadow_perms: List[List[int]] = [plans[index + 1][0] for index in range(rounds)]
+    shadow_rands: List[List[List[int]]] = [plans[index + 1][1] for index in range(rounds)]
 
     coins = _challenge_bits(inputs, outputs, shadows)
     order = elgamal.group.order
@@ -155,11 +171,25 @@ def _check_mapping(
     sources: Sequence[CiphertextTuple],
     targets: Sequence[CiphertextTuple],
     opening: TupleOpening,
+    batch: bool = True,
 ) -> bool:
     if sorted(opening.permutation) != list(range(len(sources))):
         return False
     if len(opening.randomness) != len(sources) or len(targets) != len(sources):
         return False
+    if batch and len(sources) > 1:
+        # Random-linear-combination check over every (component, item) pair:
+        # two full-width exponentiations for the whole opening instead of two
+        # per ciphertext component.
+        items = []
+        for position, source_index in enumerate(opening.permutation):
+            source_tuple = sources[source_index]
+            target_tuple = targets[position]
+            randomness = opening.randomness[position]
+            if len(target_tuple) != len(source_tuple) or len(randomness) != len(source_tuple):
+                return False
+            items.extend(zip(source_tuple, target_tuple, randomness))
+        return batch_reencryption_verify(elgamal, public_key, items)
     for position, source_index in enumerate(opening.permutation):
         expected = _reencrypt_tuple(elgamal, public_key, sources[source_index], opening.randomness[position])
         if expected != targets[position]:
@@ -167,25 +197,40 @@ def _check_mapping(
     return True
 
 
+def _verify_round(
+    elgamal: ElGamal,
+    public_key: GroupElement,
+    inputs: Sequence[CiphertextTuple],
+    outputs: Sequence[CiphertextTuple],
+    round_: TupleShadowRound,
+    batch: bool,
+) -> bool:
+    if round_.opens_input_side:
+        return _check_mapping(elgamal, public_key, inputs, round_.shadow, round_.opening, batch=batch)
+    return _check_mapping(elgamal, public_key, round_.shadow, outputs, round_.opening, batch=batch)
+
+
 def verify_tuple_shuffle(
     elgamal: ElGamal,
     public_key: GroupElement,
     inputs: Sequence[CiphertextTuple],
     shuffle: TupleShuffle,
+    executor: Optional[Executor] = None,
+    batch: bool = True,
 ) -> bool:
-    """Verify a tuple-shuffle proof."""
+    """Verify a tuple-shuffle proof (shadow rounds checked in parallel)."""
     shadows = [round_.shadow for round_ in shuffle.rounds]
     coins = _challenge_bits(inputs, shuffle.outputs, shadows)
     for index, round_ in enumerate(shuffle.rounds):
         if round_.opens_input_side != coins[index]:
             return False
-        if round_.opens_input_side:
-            ok = _check_mapping(elgamal, public_key, inputs, round_.shadow, round_.opening)
-        else:
-            ok = _check_mapping(elgamal, public_key, round_.shadow, shuffle.outputs, round_.opening)
-        if not ok:
-            return False
-    return True
+    verdicts = parallel_starmap(
+        _verify_round,
+        [(elgamal, public_key, inputs, shuffle.outputs, round_, batch) for round_ in shuffle.rounds],
+        executor=executor,
+        chunksize=1,
+    )
+    return all(verdicts)
 
 
 @dataclass(frozen=True)
@@ -205,14 +250,27 @@ def tuple_mix_cascade(
     inputs: Sequence[CiphertextTuple],
     num_mixers: int,
     rounds: int = DEFAULT_SOUNDNESS_ROUNDS,
+    executor: Optional[Executor] = None,
 ) -> TupleCascade:
     stages: List[TupleShuffle] = []
     current = list(inputs)
     for _ in range(num_mixers):
-        stage = shuffle_tuples_with_proof(elgamal, public_key, current, rounds=rounds)
+        stage = shuffle_tuples_with_proof(elgamal, public_key, current, rounds=rounds, executor=executor)
         stages.append(stage)
         current = stage.outputs
     return TupleCascade(stages=stages)
+
+
+def _verify_stage(
+    elgamal: ElGamal,
+    public_key: GroupElement,
+    inputs: Sequence[CiphertextTuple],
+    stage: TupleShuffle,
+    batch: bool,
+) -> bool:
+    # Runs inside a worker: keep nested execution strictly serial so a forked
+    # pool object is never re-entered from a child process.
+    return verify_tuple_shuffle(elgamal, public_key, inputs, stage, executor=SerialExecutor(), batch=batch)
 
 
 def verify_tuple_cascade(
@@ -220,13 +278,27 @@ def verify_tuple_cascade(
     public_key: GroupElement,
     inputs: Sequence[CiphertextTuple],
     cascade: TupleCascade,
+    executor: Optional[Executor] = None,
+    batch: bool = True,
 ) -> bool:
+    """Verify every stage of a cascade.
+
+    Unlike mixing, verification has no stage-to-stage data dependency — the
+    claimed inputs of every stage are already in the published transcript —
+    so the per-stage checks fan out across the executor.
+    """
+    stage_inputs: List[List[CiphertextTuple]] = []
     current = list(inputs)
     for stage in cascade.stages:
-        if not verify_tuple_shuffle(elgamal, public_key, current, stage):
-            return False
+        stage_inputs.append(current)
         current = stage.outputs
-    return True
+    verdicts = parallel_starmap(
+        _verify_stage,
+        [(elgamal, public_key, stage_inputs[i], stage, batch) for i, stage in enumerate(cascade.stages)],
+        executor=executor,
+        chunksize=1,
+    )
+    return all(verdicts)
 
 
 def assert_valid_cascade(

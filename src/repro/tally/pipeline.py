@@ -15,10 +15,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.crypto.dkg import DistributedKeyGeneration
 from repro.crypto.elgamal import ElGamal, ElGamalCiphertext
 from repro.crypto.group import Group
-from repro.crypto.schnorr import schnorr_verify
+from repro.crypto.hashing import sha256
 from repro.crypto.tagging import TaggingAuthority
 from repro.errors import TallyError
 from repro.ledger.bulletin_board import BallotRecord, BulletinBoard, RegistrationRecord
+from repro.runtime.batch import verify_signatures
+from repro.runtime.executor import Executor, resolve_executor
 from repro.tally.decrypt import DecryptedVote, aggregate, decrypt_votes
 from repro.tally.filter import FilterResult, deduplicate_ballots, filter_ballots
 from repro.tally.mixnet import (
@@ -54,34 +56,55 @@ class TallyResult:
 
 @dataclass
 class TallyPipeline:
-    """Runs the Votegral tally over a bulletin board."""
+    """Runs the Votegral tally over a bulletin board.
+
+    ``executor`` selects the :mod:`repro.runtime` backend the heavy stages
+    (mixing, filtering, decryption, signature checks) fan out over; ``None``
+    means the module-wide default (serial unless reconfigured).  ``tagging``
+    optionally injects a pre-built :class:`TaggingAuthority` — normally a
+    fresh one is drawn per run (reusing a tagging exponent across elections
+    would link ballots), but injection enables deterministic replay and lets
+    an auditor re-run filtering against a disclosed tagging transcript.
+    """
 
     group: Group
     authority: DistributedKeyGeneration
     num_mixers: int = 4
     proof_rounds: int = 8
     verify_internally: bool = False
+    executor: Optional[Executor] = None
+    tagging: Optional[TaggingAuthority] = None
 
     def __post_init__(self) -> None:
         self.elgamal = ElGamal(self.group)
 
     # ------------------------------------------------------------------ ballots
 
-    def _valid_ballots(self, board: BulletinBoard, election_id: str) -> List[BallotRecord]:
-        """Signature-check and deduplicate the ballots on the ledger."""
-        valid: List[BallotRecord] = []
-        for record in board.ballots(election_id):
-            ciphertext = ElGamalCiphertext(record.ciphertext_c1, record.ciphertext_c2)
-            from repro.crypto.hashing import sha256
+    def _valid_ballots(
+        self,
+        board: BulletinBoard,
+        election_id: str,
+        executor: Optional[Executor] = None,
+    ) -> List[BallotRecord]:
+        """Signature-check and deduplicate the ballots on the ledger.
 
+        Signatures are checked with the random-linear-combination batch
+        verifier: one batched equation when every signature is valid (the
+        common case), bisection to isolate forgeries otherwise.
+        """
+        records = list(board.ballots(election_id))
+        items = []
+        for record in records:
+            ciphertext = ElGamalCiphertext(record.ciphertext_c1, record.ciphertext_c2)
             message = sha256(
                 b"ballot",
                 record.election_id.encode(),
                 ciphertext.to_bytes(),
                 record.credential_public_key.to_bytes(),
             )
-            if schnorr_verify(record.credential_public_key, message, record.signature):
-                valid.append(record)
+            items.append((record.credential_public_key, message, record.signature))
+        verdicts = verify_signatures(items, executor=executor if executor is not None else self.executor)
+        valid = [record for record, ok in zip(records, verdicts) if ok]
         return deduplicate_ballots(valid)
 
     # ------------------------------------------------------------------ main run
@@ -101,10 +124,11 @@ class TallyPipeline:
         credential before tag matching, and ballots cast with keys that were
         rotated away from are dropped.
         """
+        ex = resolve_executor(self.executor)
         registrations = board.active_registrations()
         if not registrations:
             raise TallyError("no active registrations: nothing to tally")
-        ballots = self._valid_ballots(board, election_id)
+        ballots = self._valid_ballots(board, election_id, executor=ex)
         if rotations is not None:
             ballots = [b for b in ballots if not rotations.is_retired(b.credential_public_key)]
 
@@ -130,22 +154,24 @@ class TallyPipeline:
         ]
 
         registration_cascade = tuple_mix_cascade(
-            self.elgamal, self.authority.public_key, registration_inputs, self.num_mixers, self.proof_rounds
+            self.elgamal, self.authority.public_key, registration_inputs, self.num_mixers, self.proof_rounds,
+            executor=ex,
         )
         if ballot_inputs:
             ballot_cascade = tuple_mix_cascade(
-                self.elgamal, self.authority.public_key, ballot_inputs, self.num_mixers, self.proof_rounds
+                self.elgamal, self.authority.public_key, ballot_inputs, self.num_mixers, self.proof_rounds,
+                executor=ex,
             )
         else:
             ballot_cascade = TupleCascade(stages=[])
 
         if self.verify_internally:
             if not verify_tuple_cascade(
-                self.elgamal, self.authority.public_key, registration_inputs, registration_cascade
+                self.elgamal, self.authority.public_key, registration_inputs, registration_cascade, executor=ex
             ):
                 raise TallyError("registration mix cascade failed self-verification")
             if ballot_inputs and not verify_tuple_cascade(
-                self.elgamal, self.authority.public_key, ballot_inputs, ballot_cascade
+                self.elgamal, self.authority.public_key, ballot_inputs, ballot_cascade, executor=ex
             ):
                 raise TallyError("ballot mix cascade failed self-verification")
 
@@ -154,10 +180,14 @@ class TallyPipeline:
             (item[0], item[1]) for item in ballot_cascade.outputs
         ]
 
-        tagging = TaggingAuthority.create(self.group, self.authority.num_members)
-        filter_result = filter_ballots(self.authority, tagging, mixed_pairs, mixed_registrations, verify=False)
+        tagging = self.tagging if self.tagging is not None else TaggingAuthority.create(
+            self.group, self.authority.num_members
+        )
+        filter_result = filter_ballots(
+            self.authority, tagging, mixed_pairs, mixed_registrations, verify=False, executor=ex
+        )
 
-        votes = decrypt_votes(self.authority, filter_result.counted, num_options, verify=False)
+        votes = decrypt_votes(self.authority, filter_result.counted, num_options, verify=False, executor=ex)
         counts = aggregate(votes, num_options)
 
         return TallyResult(
@@ -181,6 +211,8 @@ def verify_tally(
     result: TallyResult,
     election_id: str = "default",
     rotations=None,
+    executor: Optional[Executor] = None,
+    batch: bool = True,
 ) -> bool:
     """Universal verification: re-check the published tally against the ledger.
 
@@ -190,17 +222,25 @@ def verify_tally(
     the number of counted ballots.  (Tag-chain and decryption-share proofs are
     verified inside the tagging / decryption primitives when ``verify=True``;
     the pipeline exposes them through the filter result for spot checks.)
+
+    ``executor`` fans the per-stage shuffle checks out across workers and
+    ``batch`` enables random-linear-combination checking of the shadow-mix
+    openings — auditors who insist on the exact reference equations can pass
+    ``batch=False``.
     """
+    ex = resolve_executor(executor)
     elgamal = ElGamal(group)
     registrations = board.active_registrations()
     registration_inputs = [
         (ElGamalCiphertext(record.public_credential_c1, record.public_credential_c2),)
         for record in registrations
     ]
-    if not verify_tuple_cascade(elgamal, authority.public_key, registration_inputs, result.registration_cascade):
+    if not verify_tuple_cascade(
+        elgamal, authority.public_key, registration_inputs, result.registration_cascade, executor=ex, batch=batch
+    ):
         return False
     if result.ballot_cascade.stages:
-        valid_records = TallyPipeline(group, authority)._valid_ballots(board, election_id)
+        valid_records = TallyPipeline(group, authority)._valid_ballots(board, election_id, executor=ex)
         if rotations is not None:
             valid_records = [r for r in valid_records if not rotations.is_retired(r.credential_public_key)]
 
@@ -214,7 +254,9 @@ def verify_tally(
             )
             for record in valid_records
         ]
-        if not verify_tuple_cascade(elgamal, authority.public_key, ballot_inputs, result.ballot_cascade):
+        if not verify_tuple_cascade(
+            elgamal, authority.public_key, ballot_inputs, result.ballot_cascade, executor=ex, batch=batch
+        ):
             return False
     if result.num_counted > len(registrations):
         return False

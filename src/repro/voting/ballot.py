@@ -21,7 +21,7 @@ from typing import List, Optional, Sequence
 from repro.crypto.dlog_proof import DlogProof, prove_dlog, verify_dlog
 from repro.crypto.elgamal import ElGamal, ElGamalCiphertext
 from repro.crypto.group import Group, GroupElement
-from repro.crypto.hashing import sha256
+from repro.crypto.hashing import scalar_bytes, sha256
 from repro.crypto.schnorr import SchnorrSignature, SigningKeyPair, schnorr_sign, schnorr_verify
 from repro.errors import VerificationError
 from repro.ledger.bulletin_board import BallotRecord
@@ -44,8 +44,8 @@ class BallotProof:
 
     def to_bytes(self) -> bytes:
         parts = [e.to_bytes() for e in self.commitments_g + self.commitments_h]
-        parts += [c.to_bytes(64, "big") for c in self.challenges]
-        parts += [r.to_bytes(64, "big") for r in self.responses]
+        parts += [scalar_bytes(c) for c in self.challenges]
+        parts += [scalar_bytes(r) for r in self.responses]
         return sha256(b"ballot-proof", *parts)
 
 

@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) on the runtime subsystem."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.crypto.elgamal import ElGamal
+from repro.crypto.modp_group import testing_group as toy_group
+from repro.crypto.schnorr import schnorr_keygen, schnorr_sign
+from repro.runtime.batch import (
+    batch_reencryption_verify,
+    batch_schnorr_verify,
+    verify_signatures,
+)
+from repro.runtime.executor import SerialExecutor, ThreadExecutor, chunk_evenly
+from repro.runtime.precompute import FixedBaseTable
+
+GROUP = toy_group()
+ELGAMAL = ElGamal(GROUP)
+ORDER = GROUP.order
+
+scalars = st.integers(min_value=1, max_value=ORDER - 1)
+
+FAST = settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+# Built once: signing 30+ fresh batches per example would dominate the suite.
+_KEYPAIRS = [schnorr_keygen(GROUP) for _ in range(6)]
+_SIGNED = [
+    (kp.public, f"msg-{index}".encode(), schnorr_sign(kp, f"msg-{index}".encode()))
+    for index, kp in enumerate(_KEYPAIRS)
+]
+
+
+class TestFixedBaseTableProperties:
+    @FAST
+    @given(exponent=st.integers(min_value=-(2 * ORDER), max_value=2 * ORDER), window=st.integers(1, 8))
+    def test_table_power_matches_reference(self, exponent, window):
+        table = FixedBaseTable(GROUP.generator, window_bits=window)
+        assert table.power(exponent) == GROUP.generator.exponentiate(exponent)
+
+    @FAST
+    @given(seed=st.binary(min_size=1, max_size=16), exponent=scalars)
+    def test_arbitrary_bases(self, seed, exponent):
+        base = GROUP.hash_to_element(seed)
+        table = FixedBaseTable(base, window_bits=4)
+        assert table.power(exponent) == base.exponentiate(exponent)
+
+
+class TestBatchRejectionProperties:
+    @FAST
+    @given(tamper_index=st.integers(0, len(_SIGNED) - 1), delta=scalars)
+    def test_any_single_tampered_signature_is_rejected(self, tamper_index, delta):
+        items = list(_SIGNED)
+        public, message, signature = items[tamper_index]
+        forged = dataclasses.replace(signature, response=(signature.response + delta) % ORDER)
+        items[tamper_index] = (public, message, forged)
+        assert batch_schnorr_verify(items) is False
+        verdicts = verify_signatures(items, chunk_size=2)
+        assert verdicts == [index != tamper_index for index in range(len(items))]
+
+    @FAST
+    @given(tamper_index=st.integers(0, 5), delta=scalars)
+    def test_any_single_tampered_reencryption_is_rejected(self, tamper_index, delta):
+        keypair = ELGAMAL.keygen(secret=424242)
+        items = []
+        for index in range(6):
+            source = ELGAMAL.encrypt(keypair.public, GROUP.hash_to_element(bytes([index])), randomness=index + 1)
+            randomness = (index * 7 + 5) % ORDER
+            items.append((source, ELGAMAL.reencrypt(keypair.public, source, randomness), randomness))
+        assert batch_reencryption_verify(ELGAMAL, keypair.public, items)
+        source, target, randomness = items[tamper_index]
+        items[tamper_index] = (source, target, (randomness + delta) % ORDER)
+        assert batch_reencryption_verify(ELGAMAL, keypair.public, items) is False
+
+
+class TestExecutorProperties:
+    @FAST
+    @given(items=st.lists(st.integers(), max_size=64), num_chunks=st.integers(1, 80))
+    def test_chunking_partitions_in_order(self, items, num_chunks):
+        chunks = chunk_evenly(items, num_chunks)
+        assert [x for chunk in chunks for x in chunk] == items
+        if items:
+            sizes = [len(chunk) for chunk in chunks]
+            assert min(sizes) >= 1
+            assert max(sizes) - min(sizes) <= 1
+
+    @FAST
+    @given(items=st.lists(st.integers(min_value=-(10**6), max_value=10**6), max_size=40))
+    def test_backends_agree_with_builtin_map(self, items):
+        with ThreadExecutor(num_workers=2) as threaded:
+            assert (
+                SerialExecutor().map(abs, items)
+                == threaded.map(abs, items, chunksize=3)
+                == list(map(abs, items))
+            )

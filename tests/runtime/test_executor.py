@@ -1,0 +1,137 @@
+"""Executor backends: ordering, equivalence, error propagation, specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_workers,
+    chunk_evenly,
+    executor_from_spec,
+    get_default_executor,
+    resolve_executor,
+    set_default_executor,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _add(a, b):
+    return a + b
+
+
+def _explode(x):
+    if x == 13:
+        raise ValueError("unlucky")
+    return x
+
+
+@pytest.fixture(params=["serial", "thread", "process"])
+def executor(request):
+    if request.param == "serial":
+        yield SerialExecutor()
+    elif request.param == "thread":
+        with ThreadExecutor(num_workers=2) as ex:
+            yield ex
+    else:
+        with ProcessExecutor(num_workers=2) as ex:
+            yield ex
+
+
+class TestBackends:
+    def test_map_matches_serial_reference(self, executor):
+        items = list(range(37))
+        assert executor.map(_square, items) == [x * x for x in items]
+
+    def test_starmap_matches_serial_reference(self, executor):
+        items = [(a, a + 1) for a in range(23)]
+        assert executor.starmap(_add, items) == [a + b for a, b in items]
+
+    def test_empty_input(self, executor):
+        assert executor.map(_square, []) == []
+        assert executor.starmap(_add, []) == []
+
+    def test_single_item(self, executor):
+        assert executor.map(_square, [7]) == [49]
+
+    def test_explicit_chunksize(self, executor):
+        items = list(range(10))
+        assert executor.map(_square, items, chunksize=3) == [x * x for x in items]
+
+    def test_worker_exception_propagates(self, executor):
+        with pytest.raises(ValueError, match="unlucky"):
+            executor.map(_explode, list(range(20)))
+
+    def test_close_is_idempotent(self, executor):
+        executor.close()
+        executor.close()
+
+
+class TestChunking:
+    def test_concatenation_restores_order(self):
+        items = list(range(101))
+        for num_chunks in (1, 2, 3, 7, 50, 101, 500):
+            chunks = chunk_evenly(items, num_chunks)
+            assert [x for chunk in chunks for x in chunk] == items
+
+    def test_chunks_are_balanced(self):
+        chunks = chunk_evenly(list(range(10)), 3)
+        sizes = [len(chunk) for chunk in chunks]
+        assert max(sizes) - min(sizes) <= 1
+        assert all(chunk for chunk in chunks)
+
+    def test_never_more_chunks_than_items(self):
+        assert len(chunk_evenly([1, 2], 8)) == 2
+
+
+class TestSpecs:
+    def test_serial_spec(self):
+        assert isinstance(executor_from_spec("serial"), SerialExecutor)
+
+    def test_thread_spec_with_count(self):
+        ex = executor_from_spec("thread:3")
+        assert isinstance(ex, ThreadExecutor)
+        assert ex.num_workers == 3
+
+    def test_process_spec_defaults_to_available_workers(self):
+        ex = executor_from_spec("process")
+        assert isinstance(ex, ProcessExecutor)
+        assert ex.num_workers == available_workers()
+
+    def test_spec_is_case_insensitive(self):
+        assert isinstance(executor_from_spec("  Thread:2 "), ThreadExecutor)
+
+    @pytest.mark.parametrize("spec", ["gpu", "thread:zero", "process:0", "serial:2"])
+    def test_invalid_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            executor_from_spec(spec)
+
+
+class TestDefaultExecutor:
+    def test_default_is_serial(self):
+        assert isinstance(get_default_executor(), SerialExecutor)
+
+    def test_resolve_prefers_explicit(self):
+        explicit = SerialExecutor()
+        assert resolve_executor(explicit) is explicit
+        assert resolve_executor(None) is get_default_executor()
+
+    def test_set_and_restore(self):
+        replacement = ThreadExecutor(num_workers=2)
+        previous = set_default_executor(replacement)
+        try:
+            assert get_default_executor() is replacement
+            assert resolve_executor(None) is replacement
+        finally:
+            set_default_executor(previous)
+            replacement.close()
+        assert get_default_executor() is previous
+
+
+def test_available_workers_positive():
+    assert available_workers() >= 1

@@ -1,0 +1,144 @@
+"""Fixed-base precomputation: correctness, auto-build policy, transparency."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.modp_group import modp_group_256, testing_group as toy_group
+from repro.runtime import precompute
+from repro.runtime.precompute import (
+    AUTO_BUILD_THRESHOLD,
+    FixedBaseTable,
+    clear_tables,
+    element_power,
+    num_cached_tables,
+    set_precompute_enabled,
+    warm_fixed_base,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_precompute_state():
+    """Isolate the global table cache and enable flag per test."""
+    clear_tables()
+    previous = set_precompute_enabled(True)
+    yield
+    clear_tables()
+    set_precompute_enabled(previous)
+
+
+@pytest.fixture(scope="module")
+def big_group():
+    return modp_group_256()
+
+
+class TestFixedBaseTable:
+    def test_matches_square_and_multiply(self, big_group):
+        rng = random.Random(0xF1BA)
+        table = FixedBaseTable(big_group.generator)
+        for _ in range(16):
+            exponent = rng.randrange(big_group.order)
+            assert table.power(exponent) == big_group.generator.exponentiate(exponent)
+
+    def test_edge_exponents(self, big_group):
+        table = FixedBaseTable(big_group.generator)
+        assert table.power(0) == big_group.identity
+        assert table.power(1) == big_group.generator
+        assert table.power(big_group.order) == big_group.identity
+        assert table.power(big_group.order - 1) == big_group.generator.exponentiate(-1)
+        assert table.power(-5) == big_group.generator.exponentiate(-5)
+
+    def test_arbitrary_base(self, big_group):
+        base = big_group.hash_to_element(b"some hot base")
+        table = FixedBaseTable(base, window_bits=4)
+        for exponent in (2, 3, 12345, big_group.order // 3):
+            assert table.power(exponent) == base.exponentiate(exponent)
+
+    def test_works_on_toy_group_when_built_directly(self):
+        group = toy_group()
+        table = FixedBaseTable(group.generator)
+        for exponent in (0, 1, 2, 97, group.order - 1):
+            assert table.power(exponent) == group.generator.exponentiate(exponent)
+
+    def test_rejects_zero_window(self, big_group):
+        with pytest.raises(ValueError):
+            FixedBaseTable(big_group.generator, window_bits=0)
+
+
+class TestTransparentCache:
+    def test_auto_build_after_threshold(self, big_group):
+        base = big_group.hash_to_element(b"auto-build")
+        assert num_cached_tables() == 0
+        for index in range(AUTO_BUILD_THRESHOLD + 2):
+            assert element_power(base, 41 + index) == base.exponentiate(41 + index)
+        assert num_cached_tables() == 1
+
+    def test_warm_builds_immediately_and_results_match(self, big_group):
+        table = warm_fixed_base(big_group.generator)
+        assert table is not None
+        assert num_cached_tables() == 1
+        assert element_power(big_group.generator, 99) == big_group.generator.exponentiate(99)
+
+    def test_small_groups_are_left_alone(self):
+        group = toy_group()
+        assert warm_fixed_base(group.generator) is None
+        assert element_power(group.generator, 123) == group.generator.exponentiate(123)
+        assert num_cached_tables() == 0
+
+    def test_disabled_flag_bypasses_tables(self, big_group):
+        set_precompute_enabled(False)
+        assert warm_fixed_base(big_group.generator) is None
+        for _ in range(AUTO_BUILD_THRESHOLD + 2):
+            element_power(big_group.generator, 7)
+        assert num_cached_tables() == 0
+
+    def test_full_cache_evicts_least_recently_used(self, big_group, monkeypatch):
+        monkeypatch.setattr(precompute, "MAX_TABLES", 2)
+        bases = [big_group.hash_to_element(bytes([index])) for index in range(3)]
+        for base in bases:
+            assert warm_fixed_base(base) is not None
+        assert num_cached_tables() == 2
+        # The oldest base fell out but still computes correctly (rebuild path).
+        for base in bases:
+            assert element_power(base, 321) == base.exponentiate(321)
+        # Touching a cached base protects it from the next eviction.
+        warm_fixed_base(bases[1])
+        warm_fixed_base(big_group.hash_to_element(b"newcomer"))
+        assert element_power(bases[1], 55) == bases[1].exponentiate(55)
+        assert num_cached_tables() == 2
+
+    def test_group_power_hook_uses_table(self, big_group):
+        warm_fixed_base(big_group.generator)
+        # group.power goes through the installed accelerator hook; the result
+        # must be indistinguishable from the reference path.
+        for exponent in (5, 2**200 + 3, big_group.order - 2):
+            assert big_group.power(exponent) == big_group.generator.exponentiate(exponent)
+
+    def test_elgamal_encrypt_decrypt_with_tables(self, big_group):
+        from repro.crypto.elgamal import ElGamal
+
+        elgamal = ElGamal(big_group)
+        keypair = elgamal.keygen()
+        warm_fixed_base(keypair.public)
+        message = big_group.hash_to_element(b"hello tables")
+        ciphertext = elgamal.encrypt(keypair.public, message)
+        assert elgamal.decrypt(keypair.secret, ciphertext) == message
+        refreshed = elgamal.reencrypt(keypair.public, ciphertext)
+        assert elgamal.decrypt(keypair.secret, refreshed) == message
+
+    def test_encrypt_identical_with_and_without_tables(self, big_group):
+        from repro.crypto.elgamal import ElGamal
+
+        elgamal = ElGamal(big_group)
+        keypair = elgamal.keygen(secret=31337)
+        message = big_group.hash_to_element(b"determinism")
+        randomness = 0xDEADBEEF
+        set_precompute_enabled(False)
+        reference = elgamal.encrypt(keypair.public, message, randomness=randomness)
+        set_precompute_enabled(True)
+        warm_fixed_base(keypair.public)
+        warm_fixed_base(big_group.generator)
+        accelerated = elgamal.encrypt(keypair.public, message, randomness=randomness)
+        assert accelerated == reference
