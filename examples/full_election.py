@@ -5,7 +5,11 @@ Runs the end-to-end pipeline (setup → TRIP registration → voting → verifia
 tally) for a configurable number of voters and prints the per-phase latencies
 — a laptop-scale version of the paper's §7.4 end-to-end evaluation.
 
-Run with:  python examples/full_election.py [num_voters]
+Run with:  python examples/full_election.py [num_voters] [board_spec]
+
+``board_spec`` selects the bulletin-board backend (see ``repro.ledger.api``):
+``memory`` (default), ``sqlite[:path]``, or ``batched[:N[:inner]]`` — every
+backend yields the identical tally and hash chains.
 """
 
 import sys
@@ -14,19 +18,20 @@ from repro.bench.harness import format_seconds
 from repro.election import ElectionConfig, VotegralElection
 
 
-def main(num_voters: int = 15) -> None:
+def main(num_voters: int = 15, board_spec: str = "memory") -> None:
     config = ElectionConfig(
         num_voters=num_voters,
         num_options=3,
         num_mixers=4,
         proof_rounds=4,
         fake_credentials_per_voter=1,
+        board_spec=board_spec,
     )
-    election = VotegralElection(config)
-    report = election.run()
+    with VotegralElection(config) as election:
+        report = election.run()
 
     print(f"election with {num_voters} voters, {config.num_options} options, "
-          f"{config.num_mixers} mixers")
+          f"{config.num_mixers} mixers, board={config.board_spec!r}")
     print(f"  counts:             {report.result.counts}")
     print(f"  intended:           {report.intended_counts}")
     print(f"  matches intent:     {report.counts_match_intent}")
@@ -45,4 +50,7 @@ def main(num_voters: int = 15) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 15)
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 15,
+        sys.argv[2] if len(sys.argv) > 2 else "memory",
+    )

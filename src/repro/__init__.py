@@ -13,7 +13,9 @@ The package provides:
 
 * ``repro.crypto``        — the cryptographic substrate (groups, ElGamal,
   Schnorr signatures, Σ-protocols, DKG, verifiable shuffles, PETs, tagging).
-* ``repro.ledger``        — the tamper-evident public bulletin board.
+* ``repro.ledger``        — the tamper-evident public bulletin board behind
+  a versioned, backend-pluggable API (memory / SQLite / write-behind batched)
+  with typed append commands and cursor-based reads.
 * ``repro.peripherals``   — calibrated kiosk-hardware simulation (QR, printer,
   scanner, hardware profiles).
 * ``repro.registration``  — the TRIP registration protocol (the paper's core

@@ -12,7 +12,9 @@ from repro.crypto.hashing import sha256
 from repro.crypto.modp_group import testing_group
 from repro.crypto.schnorr import schnorr_keygen, schnorr_sign
 from repro.election.config import ElectionConfig
-from repro.ledger.bulletin_board import BulletinBoard, RegistrationRecord
+from repro.ledger.api import board_from_spec
+from repro.ledger.bulletin_board import BulletinBoard
+from repro.ledger.records import RegistrationRecord
 from repro.registration.setup import ElectionSetup
 from repro.runtime.precompute import warm_fixed_base
 from repro.voting.ballot import make_ballot
@@ -39,6 +41,7 @@ def tally_workload(
     num_voters: int,
     num_options: int = 2,
     num_authority_members: int = 4,
+    board_spec: str = "memory",
 ) -> Tuple[DistributedKeyGeneration, BulletinBoard]:
     """A voted bulletin board ready for :class:`repro.tally.pipeline.TallyPipeline`.
 
@@ -47,12 +50,14 @@ def tally_workload(
     ceremony, so tally-phase benchmarks can run over groups the kiosk
     peripherals cannot physically carry — e.g. the 2048-bit large-modulus
     setting, whose credential keys exceed the QR capacity the hardware model
-    faithfully enforces.
+    faithfully enforces.  ``board_spec`` selects the ledger backend the
+    synthetic election is ingested into (see
+    :func:`repro.ledger.api.board_from_spec`).
     """
     authority = DistributedKeyGeneration.run(group, num_authority_members)
     warm_fixed_base(group.generator)
     warm_fixed_base(authority.public_key)
-    board = BulletinBoard()
+    board = BulletinBoard(board_from_spec(board_spec, group=group))
     voter_ids = [f"voter-{index:06d}" for index in range(num_voters)]
     board.publish_electoral_roll(voter_ids)
     elgamal = ElGamal(group)

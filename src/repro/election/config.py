@@ -7,6 +7,8 @@ from typing import Callable, List, Optional
 
 from repro.crypto.group import Group
 from repro.crypto.modp_group import testing_group
+from repro.ledger.api import LedgerBackend, board_from_spec
+from repro.ledger.bulletin_board import BulletinBoard
 from repro.runtime.executor import Executor, executor_from_spec
 
 
@@ -22,6 +24,14 @@ class ElectionConfig:
     parallel stages run on — ``"serial"`` (default), ``"thread[:N]"`` or
     ``"process[:N]"`` with ``N`` workers (defaulting to the CPUs available).
     Every backend produces bit-identical results; only the wall clock moves.
+
+    ``board_spec`` selects the :mod:`repro.ledger` backend the bulletin board
+    stores its three sub-ledgers on — ``"memory"`` (default, thread-safe
+    in-process), ``"sqlite[:path]"`` (persistent) or ``"batched[:N[:inner]]"``
+    (write-behind ingestion batching; see
+    :func:`repro.ledger.api.board_from_spec`).  Every backend accepts the
+    same append commands and produces bit-identical hash chains; only
+    ingestion latency and durability move.
     """
 
     num_voters: int = 10
@@ -35,6 +45,7 @@ class ElectionConfig:
     hardware_profile: str = "H1"
     group_factory: Callable[[], Group] = testing_group
     executor_spec: str = "serial"
+    board_spec: str = "memory"
 
     def voter_ids(self) -> List[str]:
         width = max(4, len(str(self.num_voters)))
@@ -45,3 +56,9 @@ class ElectionConfig:
 
     def make_executor(self) -> Executor:
         return executor_from_spec(self.executor_spec)
+
+    def make_board_backend(self, group: Optional[Group] = None) -> LedgerBackend:
+        return board_from_spec(self.board_spec, group=group)
+
+    def make_board(self, group: Optional[Group] = None) -> BulletinBoard:
+        return BulletinBoard(self.make_board_backend(group=group))

@@ -8,6 +8,7 @@ examples and the Figure 5 benchmarks drive.
 
 from __future__ import annotations
 
+import random
 import secrets
 import time
 from dataclasses import dataclass, field
@@ -69,15 +70,22 @@ class VotegralElection:
         self.clients: Dict[str, VotingClient] = {}
         self.outcomes: List[RegistrationOutcome] = []
         self.timing = PhaseTiming()
+        # Phase outputs, initialized up front so report paths cannot hit
+        # AttributeError when phases are driven out of order.
+        self._intended: Dict[str, int] = {}
+        self._verified: bool = False
 
     def close(self) -> None:
-        """Release the runtime executor's worker pool (if any).
+        """Release the runtime executor's worker pool and the board backend.
 
         Pool-backed executors (``thread``/``process`` specs) hold OS threads
-        or processes; long-lived callers running many elections should close
+        or processes, and board backends may hold flusher threads or database
+        connections; long-lived callers running many elections should close
         each one (or use the election as a context manager).
         """
         self.executor.close()
+        if self.setup is not None:
+            self.setup.board.close()
 
     def __enter__(self) -> "VotegralElection":
         return self
@@ -94,6 +102,7 @@ class VotegralElection:
             self.config.voter_ids(),
             num_authority_members=self.config.num_authority_members,
             envelopes_per_voter=self.config.envelopes_per_voter,
+            board=self.config.make_board(self.group),
         )
         self.timing.setup_seconds = time.perf_counter() - start
         return self.setup
@@ -125,21 +134,30 @@ class VotegralElection:
         self,
         choices: Optional[Dict[str, int]] = None,
         fake_vote_probability: float = 0.5,
+        rng: Optional[random.Random] = None,
     ) -> Dict[str, int]:
-        """Cast one real ballot per voter (and, with some probability, a fake one)."""
+        """Cast one real ballot per voter (and, with some probability, a fake one).
+
+        ``rng`` injects the randomness source for generated choices and the
+        fake-vote coin flips — pass a seeded :class:`random.Random` for
+        reproducible benchmark runs and cross-backend equivalence tests.  The
+        default draws from :mod:`secrets`, the adversarial-model-appropriate
+        source.
+        """
         if not self.clients:
             self.run_registration()
+        randbelow = rng.randrange if rng is not None else secrets.randbelow
         if choices is None:
             choices = {
-                voter_id: secrets.randbelow(self.config.num_options)
+                voter_id: randbelow(self.config.num_options)
                 for voter_id in self.config.voter_ids()
             }
         start = time.perf_counter()
         for voter_id, client in self.clients.items():
             choice = choices[voter_id]
             client.cast_real(choice, self.config.num_options, election_id=self.config.election_id)
-            if client.fake_credentials() and secrets.randbelow(1000) < fake_vote_probability * 1000:
-                decoy = secrets.randbelow(self.config.num_options)
+            if client.fake_credentials() and randbelow(1000) < fake_vote_probability * 1000:
+                decoy = randbelow(self.config.num_options)
                 client.cast_fake(decoy, self.config.num_options, election_id=self.config.election_id)
         self.timing.voting_seconds = time.perf_counter() - start
         self._intended = choices
@@ -164,11 +182,16 @@ class VotegralElection:
 
     # ------------------------------------------------------------------ end-to-end
 
-    def run(self, choices: Optional[Dict[str, int]] = None, verify: bool = True) -> ElectionReport:
+    def run(
+        self,
+        choices: Optional[Dict[str, int]] = None,
+        verify: bool = True,
+        rng: Optional[random.Random] = None,
+    ) -> ElectionReport:
         """Run every phase and return the consolidated report."""
         self.run_setup()
         self.run_registration()
-        cast = self.run_voting(choices)
+        cast = self.run_voting(choices, rng=rng)
         result = self.run_tally(verify=verify)
         intended: Dict[int, int] = {option: 0 for option in range(self.config.num_options)}
         for choice in cast.values():

@@ -10,17 +10,38 @@ publicly-readable data structure — split into three sub-ledgers (Appendix D.1)
 
 The paper idealizes the ledger as tamper-evident with a globally consistent
 view.  We implement it as a hash-chained append-only log with inclusion
-proofs, which makes tampering detectable by any auditor who retains an earlier
-head — the property the idealization stands in for.
+proofs, behind the versioned :class:`~repro.ledger.api.LedgerBackend`
+contract (:mod:`repro.ledger.api`): producers issue typed append commands,
+consumers stream cursor-based reads through a
+:class:`~repro.ledger.api.BoardView`, and the storage backend — thread-safe
+in-memory, SQLite-persistent, or write-behind batched — is selected with
+:func:`~repro.ledger.api.board_from_spec`.
 """
 
-from repro.ledger.log import AppendOnlyLog, LogEntry, LogHead, InclusionProof
-from repro.ledger.bulletin_board import (
-    BulletinBoard,
-    RegistrationRecord,
+from repro.ledger.api import (
+    BallotPage,
+    BoardView,
+    Cursor,
+    GENESIS_CURSOR,
+    LEDGER_API_VERSION,
+    LedgerBackend,
+    as_board_view,
+    board_from_spec,
+)
+from repro.ledger.backends import (
+    AsyncIngestionFrontend,
+    BatchedBoard,
+    BatchSummary,
+    MemoryBackend,
+    SQLiteBackend,
+)
+from repro.ledger.bulletin_board import BulletinBoard
+from repro.ledger.log import AppendOnlyLog, InclusionProof, LogEntry, LogHead
+from repro.ledger.records import (
+    BallotRecord,
     EnvelopeCommitmentRecord,
     EnvelopeUsageRecord,
-    BallotRecord,
+    RegistrationRecord,
 )
 
 __all__ = [
@@ -33,4 +54,17 @@ __all__ = [
     "EnvelopeCommitmentRecord",
     "EnvelopeUsageRecord",
     "BallotRecord",
+    "LEDGER_API_VERSION",
+    "LedgerBackend",
+    "BoardView",
+    "BallotPage",
+    "Cursor",
+    "GENESIS_CURSOR",
+    "as_board_view",
+    "board_from_spec",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "BatchedBoard",
+    "BatchSummary",
+    "AsyncIngestionFrontend",
 ]

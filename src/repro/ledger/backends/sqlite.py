@@ -1,0 +1,230 @@
+"""A persistent ledger backend on SQLite.
+
+Write-through design: every accepted append command lands in the in-memory
+store (inherited from :class:`~repro.ledger.backends.memory.MemoryBackend`,
+so reads stay index-fast and semantics stay bit-identical) *and* in a SQLite
+row inside the same lock, committed before the append returns.  Reopening a
+database replays the persisted commands through the in-memory store, which
+rebuilds the exact same hash chains — an auditor who kept an earlier head can
+check consistency across restarts.
+
+``path=":memory:"`` gives a private, non-persistent database — useful for
+exercising the full SQL path in tests without touching disk.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from typing import List, Optional, Sequence
+
+from repro.crypto.group import Group
+from repro.errors import LedgerError
+from repro.ledger import codec
+from repro.ledger.backends.memory import MemoryBackend
+from repro.ledger.records import (
+    BallotRecord,
+    EnvelopeCommitmentRecord,
+    EnvelopeUsageRecord,
+    RegistrationRecord,
+)
+
+# Every row carries ``commit_seq`` — the board-wide commit position — because
+# the hash chains commit to the *interleaving* of streams (roll entries and
+# registrations share L_R; commitments and usages share L_E).  Restore replays
+# rows in commit_seq order so reopened chains are bit-identical to the
+# pre-restart ones.
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY, value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS roll (
+    commit_seq INTEGER PRIMARY KEY, seq INTEGER NOT NULL, voter_id TEXT NOT NULL UNIQUE
+);
+CREATE TABLE IF NOT EXISTS registrations (
+    commit_seq INTEGER PRIMARY KEY, seq INTEGER NOT NULL, voter_id TEXT NOT NULL,
+    credential_c1 BLOB NOT NULL, credential_c2 BLOB NOT NULL,
+    kiosk_pk BLOB NOT NULL, kiosk_sig BLOB NOT NULL,
+    official_pk BLOB NOT NULL, official_sig BLOB NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_registrations_voter ON registrations (voter_id);
+CREATE TABLE IF NOT EXISTS envelope_commitments (
+    commit_seq INTEGER PRIMARY KEY, seq INTEGER NOT NULL, printer_pk BLOB NOT NULL,
+    challenge_hash BLOB NOT NULL, printer_sig BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS envelope_usages (
+    commit_seq INTEGER PRIMARY KEY, seq INTEGER NOT NULL,
+    challenge BLOB NOT NULL, challenge_hash BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS ballots (
+    commit_seq INTEGER PRIMARY KEY, seq INTEGER NOT NULL, election_id TEXT NOT NULL,
+    credential_pk BLOB NOT NULL, ciphertext_c1 BLOB NOT NULL,
+    ciphertext_c2 BLOB NOT NULL, signature BLOB NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_ballots_election ON ballots (election_id);
+"""
+
+
+class SQLiteBackend(MemoryBackend):
+    """Write-through persistence over the in-memory reference semantics."""
+
+    def __init__(self, path: str = ":memory:", group: Optional[Group] = None):
+        super().__init__()
+        self._path = path
+        self._group = group
+        # The backend lock (not SQLite's) serializes access; the connection
+        # may then be shared across ingestion threads safely.
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+        self._restoring = False
+        self._commit_seq = 0
+        self._restore()
+
+    def _next_commit_seq(self) -> int:
+        seq = self._commit_seq
+        self._commit_seq = seq + 1
+        return seq
+
+    # ------------------------------------------------------------- restore
+
+    def _restore(self) -> None:
+        commands = []
+        for row in self._conn.execute("SELECT commit_seq, voter_id FROM roll"):
+            commands.append((row[0], "roll", row[1:]))
+        for row in self._conn.execute(
+            "SELECT commit_seq, voter_id, credential_c1, credential_c2, kiosk_pk, kiosk_sig, "
+            "official_pk, official_sig FROM registrations"
+        ):
+            commands.append((row[0], "registration", row[1:]))
+        for row in self._conn.execute(
+            "SELECT commit_seq, printer_pk, challenge_hash, printer_sig FROM envelope_commitments"
+        ):
+            commands.append((row[0], "commitment", row[1:]))
+        for row in self._conn.execute(
+            "SELECT commit_seq, challenge, challenge_hash FROM envelope_usages"
+        ):
+            commands.append((row[0], "usage", row[1:]))
+        for row in self._conn.execute(
+            "SELECT commit_seq, election_id, credential_pk, ciphertext_c1, ciphertext_c2, "
+            "signature FROM ballots"
+        ):
+            commands.append((row[0], "ballot", row[1:]))
+        if not commands:
+            return
+        if self._group is None:
+            raise LedgerError(
+                f"board database {self._path!r} holds records; pass the election "
+                "group so they can be decoded"
+            )
+        group = self._group
+        commands.sort(key=lambda command: command[0])
+        self._restoring = True
+        try:
+            for _, kind, row in commands:
+                if kind == "roll":
+                    self.publish_electoral_roll([row[0]])
+                elif kind == "registration":
+                    self.append_registration(codec.decode_registration(group, row))
+                elif kind == "commitment":
+                    self.append_envelope_commitment(codec.decode_envelope_commitment(group, row))
+                elif kind == "usage":
+                    self.append_envelope_usage(codec.decode_envelope_usage(row))
+                else:
+                    self.append_ballot(codec.decode_ballot(group, row))
+        finally:
+            self._restoring = False
+        self._commit_seq = commands[-1][0] + 1
+
+    # ------------------------------------------------------------- writes
+
+    def publish_electoral_roll(self, voter_ids: Sequence[str]) -> None:
+        with self._lock:
+            base = len(self.eligible_voters())
+            super().publish_electoral_roll(voter_ids)
+            if self._restoring:
+                return
+            self._conn.executemany(
+                "INSERT INTO roll (commit_seq, seq, voter_id) VALUES (?, ?, ?)",
+                [
+                    (self._next_commit_seq(), base + offset, voter_id)
+                    for offset, voter_id in enumerate(voter_ids)
+                ],
+            )
+            self._conn.commit()
+
+    def append_registration(self, record: RegistrationRecord) -> int:
+        with self._lock:
+            seq = super().append_registration(record)
+            if not self._restoring:
+                self._conn.execute(
+                    "INSERT INTO registrations (commit_seq, seq, voter_id, credential_c1, "
+                    "credential_c2, kiosk_pk, kiosk_sig, official_pk, official_sig) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (self._next_commit_seq(), seq) + codec.encode_registration(record),
+                )
+                self._conn.commit()
+            return seq
+
+    def append_envelope_commitment(self, record: EnvelopeCommitmentRecord) -> int:
+        with self._lock:
+            seq = super().append_envelope_commitment(record)
+            if not self._restoring:
+                self._conn.execute(
+                    "INSERT INTO envelope_commitments (commit_seq, seq, printer_pk, "
+                    "challenge_hash, printer_sig) VALUES (?, ?, ?, ?, ?)",
+                    (self._next_commit_seq(), seq) + codec.encode_envelope_commitment(record),
+                )
+                self._conn.commit()
+            return seq
+
+    def append_envelope_usage(self, record: EnvelopeUsageRecord) -> int:
+        with self._lock:
+            seq = super().append_envelope_usage(record)
+            if not self._restoring:
+                self._conn.execute(
+                    "INSERT INTO envelope_usages (commit_seq, seq, challenge, challenge_hash) "
+                    "VALUES (?, ?, ?, ?)",
+                    (self._next_commit_seq(), seq) + codec.encode_envelope_usage(record),
+                )
+                self._conn.commit()
+            return seq
+
+    def append_ballot(self, record: BallotRecord) -> int:
+        with self._lock:
+            seq = super().append_ballot(record)
+            if not self._restoring:
+                self._conn.execute(
+                    "INSERT INTO ballots (commit_seq, seq, election_id, credential_pk, "
+                    "ciphertext_c1, ciphertext_c2, signature) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (self._next_commit_seq(), seq) + codec.encode_ballot(record),
+                )
+                self._conn.commit()
+            return seq
+
+    def append_ballots(
+        self, records: Sequence[BallotRecord], payloads: Optional[Sequence[bytes]] = None
+    ) -> List[int]:
+        if not records:
+            return []
+        with self._lock:
+            seqs = super().append_ballots(records, payloads=payloads)
+            if not self._restoring:
+                self._conn.executemany(
+                    "INSERT INTO ballots (commit_seq, seq, election_id, credential_pk, "
+                    "ciphertext_c1, ciphertext_c2, signature) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    [
+                        (self._next_commit_seq(), seq) + codec.encode_ballot(record)
+                        for seq, record in zip(seqs, records)
+                    ],
+                )
+                self._conn.commit()
+            return seqs
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None

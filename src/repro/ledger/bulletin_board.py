@@ -1,4 +1,4 @@
-"""The Votegral bulletin board: typed views over the three sub-ledgers.
+"""The Votegral bulletin board: the typed facade over a pluggable backend.
 
 The bulletin board stores structured records for:
 
@@ -10,214 +10,228 @@ The bulletin board stores structured records for:
   duplicate-envelope attacks are detectable (Appendix F.3.5);
 * **ballots** — encrypted ballots signed by a credential key pair.
 
-Records are serialized and appended to the underlying hash-chained logs, so
-all the tamper-evidence and inclusion-proof machinery of
-:class:`repro.ledger.log.AppendOnlyLog` applies.
+Storage lives behind the versioned :class:`repro.ledger.api.LedgerBackend`
+contract — thread-safe in-memory by default, SQLite-persistent or
+write-behind batched via ``ElectionConfig.board_spec`` /
+:func:`repro.ledger.api.board_from_spec`.  Records are serialized and
+appended to hash-chained logs, so all the tamper-evidence and
+inclusion-proof machinery of :class:`repro.ledger.log.AppendOnlyLog` applies
+identically on every backend.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import warnings
+from typing import List, Optional, Sequence
 
-from repro.crypto.group import GroupElement
-from repro.crypto.hashing import scalar_bytes, sha256
-from repro.crypto.schnorr import SchnorrSignature
-from repro.errors import LedgerError
+from repro.ledger.api import (
+    BallotPage,
+    BoardView,
+    Cursor,
+    GENESIS_CURSOR,
+    LedgerBackend,
+)
 from repro.ledger.log import AppendOnlyLog
 
+# Re-exported for compatibility: these records historically lived here and
+# most of the codebase imports them from this module.
+from repro.ledger.records import (
+    BallotRecord,
+    EnvelopeCommitmentRecord,
+    EnvelopeUsageRecord,
+    RegistrationRecord,
+)
 
-@dataclass(frozen=True)
-class RegistrationRecord:
-    """An entry of the registration ledger ``L_R`` (check-out, Fig. 10)."""
+__all__ = [
+    "BulletinBoard",
+    "RegistrationRecord",
+    "EnvelopeCommitmentRecord",
+    "EnvelopeUsageRecord",
+    "BallotRecord",
+]
 
-    voter_id: str
-    public_credential_c1: GroupElement
-    public_credential_c2: GroupElement
-    kiosk_public_key: GroupElement
-    kiosk_signature: SchnorrSignature
-    official_public_key: GroupElement
-    official_signature: SchnorrSignature
-
-    def payload(self) -> bytes:
-        return sha256(
-            b"registration-record",
-            self.voter_id.encode(),
-            self.public_credential_c1.to_bytes(),
-            self.public_credential_c2.to_bytes(),
-            self.kiosk_public_key.to_bytes(),
-            self.kiosk_signature.to_bytes(),
-            self.official_public_key.to_bytes(),
-            self.official_signature.to_bytes(),
-        )
-
-
-@dataclass(frozen=True)
-class EnvelopeCommitmentRecord:
-    """An entry of the envelope ledger ``L_E``: printer key, H(e), signature."""
-
-    printer_public_key: GroupElement
-    challenge_hash: bytes
-    printer_signature: SchnorrSignature
-
-    def payload(self) -> bytes:
-        return sha256(
-            b"envelope-commitment",
-            self.printer_public_key.to_bytes(),
-            self.challenge_hash,
-            self.printer_signature.to_bytes(),
-        )
-
-
-@dataclass(frozen=True)
-class EnvelopeUsageRecord:
-    """A challenge revealed at activation time (duplicate detection)."""
-
-    challenge: int
-    challenge_hash: bytes
-
-    def payload(self) -> bytes:
-        return sha256(b"envelope-usage", scalar_bytes(self.challenge), self.challenge_hash)
-
-
-@dataclass(frozen=True)
-class BallotRecord:
-    """An entry of the ballot ledger ``L_V``.
-
-    ``credential_public_key`` is the key the ballot was cast with (real or
-    fake — indistinguishable on the ledger); the ciphertext is the encrypted
-    vote; the signature binds the two.
-    """
-
-    credential_public_key: GroupElement
-    ciphertext_c1: GroupElement
-    ciphertext_c2: GroupElement
-    signature: SchnorrSignature
-    election_id: str = "default"
-
-    def payload(self) -> bytes:
-        return sha256(
-            b"ballot-record",
-            self.election_id.encode(),
-            self.credential_public_key.to_bytes(),
-            self.ciphertext_c1.to_bytes(),
-            self.ciphertext_c2.to_bytes(),
-            self.signature.to_bytes(),
-        )
+#: Legacy private attributes, now backend state.  Accessing them on the
+#: facade returns a snapshot and warns once per attribute per process.
+_DEPRECATED_INTERNALS = {
+    "_ballots": lambda backend: list(backend.read_ballots().records),
+    "_registrations": lambda backend: backend.registration_records(),
+    "_active_registration": lambda backend: {
+        record.voter_id: record for record in backend.active_registrations()
+    },
+    "_eligible_voters": lambda backend: backend.eligible_voters(),
+    "_envelope_commitments": lambda backend: backend.envelope_commitments(),
+    "_used_challenges": lambda backend: backend.used_challenges(),
+}
+_warned_internals = set()
 
 
 class BulletinBoard:
-    """The ledger ``L`` with its three sub-ledgers and typed accessors."""
+    """The ledger ``L`` with its three sub-ledgers and typed accessors.
 
-    def __init__(self) -> None:
-        self.registration_log = AppendOnlyLog("L_R")
-        self.envelope_log = AppendOnlyLog("L_E")
-        self.ballot_log = AppendOnlyLog("L_V")
+    A thin facade: every method is a typed append command or read delegated
+    to the configured :class:`~repro.ledger.api.LedgerBackend`.  Constructing
+    one with no arguments keeps the historical behavior (a fresh in-memory
+    store).
+    """
 
-        self._registrations: List[RegistrationRecord] = []
-        self._active_registration: Dict[str, RegistrationRecord] = {}
-        self._eligible_voters: List[str] = []
+    def __init__(self, backend: Optional[LedgerBackend] = None) -> None:
+        if backend is None:
+            from repro.ledger.backends.memory import MemoryBackend
 
-        self._envelope_commitments: Dict[bytes, EnvelopeCommitmentRecord] = {}
-        self._used_challenges: Dict[bytes, EnvelopeUsageRecord] = {}
+            backend = MemoryBackend()
+        self._backend = backend
 
-        self._ballots: List[BallotRecord] = []
+    @property
+    def backend(self) -> LedgerBackend:
+        return self._backend
+
+    def view(self) -> BoardView:
+        """The read-only facade tally/audit stages should hold."""
+        return BoardView(self._backend)
+
+    # Deprecation shim ----------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        if name != "_backend" and name in _DEPRECATED_INTERNALS:
+            if name not in _warned_internals:
+                _warned_internals.add(name)
+                warnings.warn(
+                    f"BulletinBoard.{name} is backend state now; use the "
+                    "LedgerBackend/BoardView read API instead (this returns a snapshot)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            return _DEPRECATED_INTERNALS[name](self.__dict__["_backend"])
+        raise AttributeError(f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    def __setattr__(self, name: str, value) -> None:
+        # Reads of legacy internals get a warning + snapshot; writes would
+        # silently shadow the shim with a stale list, so they are refused.
+        if name in _DEPRECATED_INTERNALS:
+            raise AttributeError(
+                f"BulletinBoard.{name} is backend state; mutate the board through "
+                "its append commands (post_ballot, post_registration, ...)"
+            )
+        super().__setattr__(name, value)
 
     # Electoral roll ------------------------------------------------------------
 
-    def publish_electoral_roll(self, voter_ids: List[str]) -> None:
+    def publish_electoral_roll(self, voter_ids: Sequence[str]) -> None:
         """Populate ``L_R`` with the eligible voters' identifiers (Fig. 7, line 4)."""
-        for voter_id in voter_ids:
-            if voter_id in self._eligible_voters:
-                raise LedgerError(f"duplicate voter identifier on the roll: {voter_id}")
-            self._eligible_voters.append(voter_id)
-            self.registration_log.append(sha256(b"eligible-voter", voter_id.encode()))
+        self._backend.publish_electoral_roll(voter_ids)
 
     @property
     def eligible_voters(self) -> List[str]:
-        return list(self._eligible_voters)
+        return self._backend.eligible_voters()
 
     def is_eligible(self, voter_id: str) -> bool:
-        return voter_id in self._eligible_voters
+        return self._backend.is_eligible(voter_id)
 
     # Registration ledger L_R ----------------------------------------------------
 
-    def post_registration(self, record: RegistrationRecord) -> None:
+    def post_registration(self, record: RegistrationRecord) -> int:
         """Record a completed check-out; supersedes any prior record for the voter."""
-        if not self.is_eligible(record.voter_id):
-            raise LedgerError(f"voter {record.voter_id} is not on the electoral roll")
-        self.registration_log.append(record.payload())
-        self._registrations.append(record)
-        self._active_registration[record.voter_id] = record
+        return self._backend.append_registration(record)
 
     def registration_for(self, voter_id: str) -> Optional[RegistrationRecord]:
         """The currently-active registration record for ``voter_id``, if any."""
-        return self._active_registration.get(voter_id)
+        return self._backend.registration_for(voter_id)
 
     def registration_history(self, voter_id: str) -> List[RegistrationRecord]:
-        return [record for record in self._registrations if record.voter_id == voter_id]
+        return self._backend.registration_history(voter_id)
 
     def active_registrations(self) -> List[RegistrationRecord]:
         """One active record per registered voter (the tally input roster)."""
-        return list(self._active_registration.values())
+        return self._backend.active_registrations()
 
     @property
     def num_registered(self) -> int:
-        return len(self._active_registration)
+        return self._backend.num_registered
 
     # Envelope ledger L_E ----------------------------------------------------------
 
-    def post_envelope_commitment(self, record: EnvelopeCommitmentRecord) -> None:
-        self.envelope_log.append(record.payload())
-        self._envelope_commitments[record.challenge_hash] = record
+    def post_envelope_commitment(self, record: EnvelopeCommitmentRecord) -> int:
+        return self._backend.append_envelope_commitment(record)
 
     def envelope_commitment(self, challenge_hash: bytes) -> Optional[EnvelopeCommitmentRecord]:
-        return self._envelope_commitments.get(challenge_hash)
+        return self._backend.envelope_commitment(challenge_hash)
 
-    def post_envelope_usage(self, record: EnvelopeUsageRecord) -> None:
+    def post_envelope_usage(self, record: EnvelopeUsageRecord) -> int:
         """Reveal a consumed challenge at activation time.
 
-        Raises :class:`LedgerError` if the same challenge was already revealed —
-        the duplicate-envelope detection of Appendix F.3.5.
+        Raises :class:`repro.errors.LedgerError` if the same challenge was
+        already revealed — the duplicate-envelope detection of Appendix F.3.5.
         """
-        if record.challenge_hash in self._used_challenges:
-            raise LedgerError("envelope challenge already used: possible duplicate envelopes")
-        self.envelope_log.append(record.payload())
-        self._used_challenges[record.challenge_hash] = record
+        return self._backend.append_envelope_usage(record)
 
     def is_challenge_used(self, challenge_hash: bytes) -> bool:
-        return challenge_hash in self._used_challenges
+        return self._backend.is_challenge_used(challenge_hash)
 
     @property
     def num_envelope_commitments(self) -> int:
-        return len(self._envelope_commitments)
+        return self._backend.num_envelope_commitments
 
     @property
     def num_challenges_used(self) -> int:
         """Aggregate count of activated credentials (what a coercer can see)."""
-        return len(self._used_challenges)
+        return self._backend.num_challenges_used
 
     # Ballot ledger L_V -------------------------------------------------------------
 
-    def post_ballot(self, record: BallotRecord) -> None:
-        self.ballot_log.append(record.payload())
-        self._ballots.append(record)
+    def post_ballot(self, record: BallotRecord) -> int:
+        return self._backend.append_ballot(record)
+
+    def post_ballots(self, records: Sequence[BallotRecord]) -> List[int]:
+        return self._backend.append_ballots(records)
+
+    def read_ballots(
+        self,
+        since: Cursor = GENESIS_CURSOR,
+        limit: Optional[int] = None,
+        election_id: Optional[str] = None,
+    ) -> BallotPage:
+        """Cursor-based range read over the ballot stream (see :mod:`repro.ledger.api`)."""
+        return self._backend.read_ballots(since=since, limit=limit, election_id=election_id)
 
     def ballots(self, election_id: Optional[str] = None) -> List[BallotRecord]:
-        if election_id is None:
-            return list(self._ballots)
-        return [b for b in self._ballots if b.election_id == election_id]
+        return self.view().ballots(election_id)
 
     @property
     def num_ballots(self) -> int:
-        return len(self._ballots)
+        return self._backend.num_ballots
+
+    # Logs ----------------------------------------------------------------------------
+
+    @property
+    def registration_log(self) -> AppendOnlyLog:
+        return self._backend.registration_log
+
+    @property
+    def envelope_log(self) -> AppendOnlyLog:
+        return self._backend.envelope_log
+
+    @property
+    def ballot_log(self) -> AppendOnlyLog:
+        return self._backend.ballot_log
 
     # Audit ----------------------------------------------------------------------------
 
     def verify_all_chains(self) -> bool:
         """Verify the hash chains of all three sub-ledgers."""
-        return (
-            self.registration_log.verify_chain()
-            and self.envelope_log.verify_chain()
-            and self.ballot_log.verify_chain()
-        )
+        return self._backend.verify_all_chains()
+
+    # Lifecycle ------------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Force any write-behind buffers down to the backend chains."""
+        self._backend.flush()
+
+    def close(self) -> None:
+        """Release backend resources (flusher threads, database connections)."""
+        self._backend.close()
+
+    def __enter__(self) -> "BulletinBoard":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,128 @@
+"""Byte codecs for persisting ledger records.
+
+The persistent backend stores records column-wise as their canonical byte
+encodings (``GroupElement.to_bytes`` is fixed-length per group, scalars are
+big-endian).  Decoding needs the election :class:`~repro.crypto.group.Group`
+to re-instantiate elements, which is why persistent backends take ``group``
+at construction: a verifier re-opening someone else's board database brings
+the group description, exactly as protocol messages do.
+
+Encoding is lossless: ``decode_*(group, encode_*(record))`` reproduces a
+record whose :meth:`payload` — and therefore its position in the hash chain —
+is byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.crypto.group import Group, GroupElement
+from repro.crypto.hashing import scalar_bytes
+from repro.crypto.schnorr import SchnorrSignature
+from repro.ledger.records import (
+    BallotRecord,
+    EnvelopeCommitmentRecord,
+    EnvelopeUsageRecord,
+    RegistrationRecord,
+)
+
+
+def element_width(group: Group) -> int:
+    """The fixed byte width of this group's canonical element encoding."""
+    return len(group.generator.to_bytes())
+
+
+def encode_signature(signature: SchnorrSignature) -> bytes:
+    return signature.to_bytes()
+
+
+def decode_signature(group: Group, data: bytes) -> SchnorrSignature:
+    width = element_width(group)
+    commitment = group.element_from_bytes(data[:width])
+    response = int.from_bytes(data[width:], "big")
+    return SchnorrSignature(commitment=commitment, response=response)
+
+
+#: Scalars persist in their canonical transcript encoding (one source of truth).
+encode_scalar = scalar_bytes
+
+
+def decode_scalar(data: bytes) -> int:
+    return int.from_bytes(data, "big")
+
+
+# ---------------------------------------------------------------------- records
+
+
+def encode_registration(record: RegistrationRecord) -> Tuple[str, bytes, bytes, bytes, bytes, bytes, bytes]:
+    return (
+        record.voter_id,
+        record.public_credential_c1.to_bytes(),
+        record.public_credential_c2.to_bytes(),
+        record.kiosk_public_key.to_bytes(),
+        encode_signature(record.kiosk_signature),
+        record.official_public_key.to_bytes(),
+        encode_signature(record.official_signature),
+    )
+
+
+def decode_registration(group: Group, row: Tuple) -> RegistrationRecord:
+    voter_id, c1, c2, kiosk_pk, kiosk_sig, official_pk, official_sig = row
+    return RegistrationRecord(
+        voter_id=voter_id,
+        public_credential_c1=group.element_from_bytes(bytes(c1)),
+        public_credential_c2=group.element_from_bytes(bytes(c2)),
+        kiosk_public_key=group.element_from_bytes(bytes(kiosk_pk)),
+        kiosk_signature=decode_signature(group, bytes(kiosk_sig)),
+        official_public_key=group.element_from_bytes(bytes(official_pk)),
+        official_signature=decode_signature(group, bytes(official_sig)),
+    )
+
+
+def encode_envelope_commitment(record: EnvelopeCommitmentRecord) -> Tuple[bytes, bytes, bytes]:
+    return (
+        record.printer_public_key.to_bytes(),
+        record.challenge_hash,
+        encode_signature(record.printer_signature),
+    )
+
+
+def decode_envelope_commitment(group: Group, row: Tuple) -> EnvelopeCommitmentRecord:
+    printer_pk, challenge_hash, printer_sig = row
+    return EnvelopeCommitmentRecord(
+        printer_public_key=group.element_from_bytes(bytes(printer_pk)),
+        challenge_hash=bytes(challenge_hash),
+        printer_signature=decode_signature(group, bytes(printer_sig)),
+    )
+
+
+def encode_envelope_usage(record: EnvelopeUsageRecord) -> Tuple[bytes, bytes]:
+    return (encode_scalar(record.challenge), record.challenge_hash)
+
+
+def decode_envelope_usage(row: Tuple) -> EnvelopeUsageRecord:
+    challenge, challenge_hash = row
+    return EnvelopeUsageRecord(
+        challenge=decode_scalar(bytes(challenge)), challenge_hash=bytes(challenge_hash)
+    )
+
+
+def encode_ballot(record: BallotRecord) -> Tuple[str, bytes, bytes, bytes, bytes]:
+    return (
+        record.election_id,
+        record.credential_public_key.to_bytes(),
+        record.ciphertext_c1.to_bytes(),
+        record.ciphertext_c2.to_bytes(),
+        encode_signature(record.signature),
+    )
+
+
+def decode_ballot(group: Group, row: Tuple) -> BallotRecord:
+    election_id, credential_pk, c1, c2, signature = row
+    return BallotRecord(
+        election_id=election_id,
+        credential_public_key=group.element_from_bytes(bytes(credential_pk)),
+        ciphertext_c1=group.element_from_bytes(bytes(c1)),
+        ciphertext_c2=group.element_from_bytes(bytes(c2)),
+        signature=decode_signature(group, bytes(signature)),
+    )

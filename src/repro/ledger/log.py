@@ -79,6 +79,29 @@ class AppendOnlyLog:
             observer(entry)
         return entry
 
+    def append_many(self, payloads: Iterable[bytes]) -> List[LogEntry]:
+        """Append ``payloads`` in order, producing the same entries (and the
+        same head) as repeated :meth:`append` calls — the bulk path write-behind
+        flushes take, kept tight by hoisting the chain state into locals."""
+        entries = self._entries
+        observers = self._observers
+        previous_hash = entries[-1].entry_hash if entries else _GENESIS
+        index = len(entries)
+        appended: List[LogEntry] = []
+        compute = LogEntry.compute_hash
+        for payload in payloads:
+            entry_hash = compute(index, payload, previous_hash)
+            entry = LogEntry(
+                index=index, payload=payload, previous_hash=previous_hash, entry_hash=entry_hash
+            )
+            entries.append(entry)
+            appended.append(entry)
+            previous_hash = entry_hash
+            index += 1
+            for observer in observers:
+                observer(entry)
+        return appended
+
     def __len__(self) -> int:
         return len(self._entries)
 

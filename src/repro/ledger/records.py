@@ -1,0 +1,102 @@
+"""Typed ledger records — the append *commands* of the bulletin-board API.
+
+Every write to the board is one of four typed records, mirroring the paper's
+three sub-ledgers (Appendix D.1):
+
+* :class:`RegistrationRecord` → the registration ledger ``L_R`` (Fig. 10);
+* :class:`EnvelopeCommitmentRecord` / :class:`EnvelopeUsageRecord` → the
+  envelope ledger ``L_E`` (commitments at setup, challenges consumed at
+  activation — Appendix F.3.5);
+* :class:`BallotRecord` → the ballot ledger ``L_V``.
+
+A record's :meth:`payload` is its canonical hash — the bytes that enter the
+underlying hash chain — so two backends that accept the same record sequence
+produce bit-identical logs regardless of how they store the records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.group import GroupElement
+from repro.crypto.hashing import scalar_bytes, sha256
+from repro.crypto.schnorr import SchnorrSignature
+
+
+@dataclass(frozen=True)
+class RegistrationRecord:
+    """An entry of the registration ledger ``L_R`` (check-out, Fig. 10)."""
+
+    voter_id: str
+    public_credential_c1: GroupElement
+    public_credential_c2: GroupElement
+    kiosk_public_key: GroupElement
+    kiosk_signature: SchnorrSignature
+    official_public_key: GroupElement
+    official_signature: SchnorrSignature
+
+    def payload(self) -> bytes:
+        return sha256(
+            b"registration-record",
+            self.voter_id.encode(),
+            self.public_credential_c1.to_bytes(),
+            self.public_credential_c2.to_bytes(),
+            self.kiosk_public_key.to_bytes(),
+            self.kiosk_signature.to_bytes(),
+            self.official_public_key.to_bytes(),
+            self.official_signature.to_bytes(),
+        )
+
+
+@dataclass(frozen=True)
+class EnvelopeCommitmentRecord:
+    """An entry of the envelope ledger ``L_E``: printer key, H(e), signature."""
+
+    printer_public_key: GroupElement
+    challenge_hash: bytes
+    printer_signature: SchnorrSignature
+
+    def payload(self) -> bytes:
+        return sha256(
+            b"envelope-commitment",
+            self.printer_public_key.to_bytes(),
+            self.challenge_hash,
+            self.printer_signature.to_bytes(),
+        )
+
+
+@dataclass(frozen=True)
+class EnvelopeUsageRecord:
+    """A challenge revealed at activation time (duplicate detection)."""
+
+    challenge: int
+    challenge_hash: bytes
+
+    def payload(self) -> bytes:
+        return sha256(b"envelope-usage", scalar_bytes(self.challenge), self.challenge_hash)
+
+
+@dataclass(frozen=True)
+class BallotRecord:
+    """An entry of the ballot ledger ``L_V``.
+
+    ``credential_public_key`` is the key the ballot was cast with (real or
+    fake — indistinguishable on the ledger); the ciphertext is the encrypted
+    vote; the signature binds the two.
+    """
+
+    credential_public_key: GroupElement
+    ciphertext_c1: GroupElement
+    ciphertext_c2: GroupElement
+    signature: SchnorrSignature
+    election_id: str = "default"
+
+    def payload(self) -> bytes:
+        return sha256(
+            b"ballot-record",
+            self.election_id.encode(),
+            self.credential_public_key.to_bytes(),
+            self.ciphertext_c1.to_bytes(),
+            self.ciphertext_c2.to_bytes(),
+            self.signature.to_bytes(),
+        )

@@ -16,7 +16,8 @@ from typing import List, Optional
 from repro.crypto.group import Group
 from repro.crypto.hashing import scalar_bytes, sha256
 from repro.crypto.schnorr import SigningKeyPair, schnorr_sign
-from repro.ledger.bulletin_board import BulletinBoard, EnvelopeCommitmentRecord
+from repro.ledger.bulletin_board import BulletinBoard
+from repro.ledger.records import EnvelopeCommitmentRecord
 from repro.registration.materials import Envelope, EnvelopeSymbol
 
 

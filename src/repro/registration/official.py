@@ -22,7 +22,8 @@ from repro.crypto.hashing import sha256
 from repro.crypto.mac import mac_sign
 from repro.crypto.schnorr import SigningKeyPair, schnorr_sign, schnorr_verify
 from repro.errors import RegistrationError
-from repro.ledger.bulletin_board import BulletinBoard, RegistrationRecord
+from repro.ledger.bulletin_board import BulletinBoard
+from repro.ledger.records import RegistrationRecord
 from repro.peripherals.clock import Component, LatencyLedger
 from repro.peripherals.hardware import HardwareProfile, hardware_profile
 from repro.peripherals.scanner import CodeScanner

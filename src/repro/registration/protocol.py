@@ -14,7 +14,7 @@ from typing import List, Optional
 
 from repro.crypto.group import Group
 from repro.errors import ProtocolError, RegistrationError
-from repro.ledger.bulletin_board import RegistrationRecord
+from repro.ledger.records import RegistrationRecord
 from repro.peripherals.clock import LatencyLedger
 from repro.peripherals.hardware import HardwareProfile, hardware_profile
 from repro.registration.kiosk import Kiosk, KioskSession

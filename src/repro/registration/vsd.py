@@ -30,7 +30,8 @@ from repro.crypto.chaum_pedersen import (
 from repro.crypto.group import Group, GroupElement
 from repro.crypto.schnorr import schnorr_verify
 from repro.errors import LedgerError, VerificationError
-from repro.ledger.bulletin_board import BulletinBoard, EnvelopeUsageRecord
+from repro.ledger.bulletin_board import BulletinBoard
+from repro.ledger.records import EnvelopeUsageRecord
 from repro.peripherals.clock import Component, LatencyLedger
 from repro.peripherals.hardware import HardwareProfile, hardware_profile
 from repro.peripherals.scanner import CodeScanner

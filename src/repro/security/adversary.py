@@ -14,6 +14,7 @@ import secrets
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.ledger.api import as_board_view
 from repro.ledger.bulletin_board import BulletinBoard
 from repro.registration.materials import PaperCredential
 from repro.registration.voter import Voter
@@ -64,11 +65,16 @@ class Coercer:
     # ---------------------------------------------------------------- the guess
 
     def ledger_view(self, board: BulletinBoard) -> Dict[str, int]:
-        """Everything the coercer can read off the public ledger, in aggregate."""
+        """Everything the coercer can read off the public ledger, in aggregate.
+
+        Goes through the read-only :class:`~repro.ledger.api.BoardView` — the
+        adversary observes the published board, it never holds a write handle.
+        """
+        view = as_board_view(board)
         return {
-            "registrations": board.num_registered,
-            "envelope_challenges_used": board.num_challenges_used,
-            "ballots": board.num_ballots,
+            "registrations": view.num_registered,
+            "envelope_challenges_used": view.num_challenges_used,
+            "ballots": view.num_ballots,
         }
 
     def guess_compliance(self, board: BulletinBoard, tally_counts: Optional[Dict[int, int]] = None) -> bool:

@@ -18,7 +18,7 @@ from repro.crypto.dkg import DistributedKeyGeneration
 from repro.crypto.elgamal import ElGamalCiphertext
 from repro.crypto.group import GroupElement
 from repro.crypto.tagging import TaggingAuthority
-from repro.ledger.bulletin_board import BallotRecord
+from repro.ledger.records import BallotRecord
 from repro.runtime.executor import Executor
 from repro.runtime.sharding import parallel_starmap
 

@@ -10,7 +10,7 @@ re-checkable through :func:`verify_tally`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.crypto.dkg import DistributedKeyGeneration
 from repro.crypto.elgamal import ElGamal, ElGamalCiphertext
@@ -18,7 +18,9 @@ from repro.crypto.group import Group
 from repro.crypto.hashing import sha256
 from repro.crypto.tagging import TaggingAuthority
 from repro.errors import TallyError
-from repro.ledger.bulletin_board import BallotRecord, BulletinBoard, RegistrationRecord
+from repro.ledger.api import BoardView, LedgerBackend, as_board_view
+from repro.ledger.bulletin_board import BulletinBoard
+from repro.ledger.records import BallotRecord, RegistrationRecord
 from repro.runtime.batch import verify_signatures
 from repro.runtime.executor import Executor, resolve_executor
 from repro.tally.decrypt import DecryptedVote, aggregate, decrypt_votes
@@ -74,6 +76,8 @@ class TallyPipeline:
     verify_internally: bool = False
     executor: Optional[Executor] = None
     tagging: Optional[TaggingAuthority] = None
+    #: Ballot-ledger shard size for the cursor-based reads below.
+    read_page_size: int = 1024
 
     def __post_init__(self) -> None:
         self.elgamal = ElGamal(self.group)
@@ -82,42 +86,51 @@ class TallyPipeline:
 
     def _valid_ballots(
         self,
-        board: BulletinBoard,
+        board: "Board",
         election_id: str,
         executor: Optional[Executor] = None,
     ) -> List[BallotRecord]:
         """Signature-check and deduplicate the ballots on the ledger.
 
-        Signatures are checked with the random-linear-combination batch
-        verifier: one batched equation when every signature is valid (the
-        common case), bisection to isolate forgeries otherwise.
+        The ledger is consumed through cursor-based shard reads — ingestion
+        can keep appending behind the cursor without this stage ever holding
+        more than bookkeeping state per shard.  Signatures are checked with
+        the random-linear-combination batch verifier per shard: one batched
+        equation when every signature is valid (the common case), bisection
+        to isolate forgeries otherwise.
         """
-        records = list(board.ballots(election_id))
-        items = []
-        for record in records:
-            ciphertext = ElGamalCiphertext(record.ciphertext_c1, record.ciphertext_c2)
-            message = sha256(
-                b"ballot",
-                record.election_id.encode(),
-                ciphertext.to_bytes(),
-                record.credential_public_key.to_bytes(),
-            )
-            items.append((record.credential_public_key, message, record.signature))
-        verdicts = verify_signatures(items, executor=executor if executor is not None else self.executor)
-        valid = [record for record, ok in zip(records, verdicts) if ok]
+        view = as_board_view(board)
+        ex = executor if executor is not None else self.executor
+        valid: List[BallotRecord] = []
+        for page in view.iter_ballot_pages(election_id=election_id, page_size=self.read_page_size):
+            items = []
+            for record in page.records:
+                ciphertext = ElGamalCiphertext(record.ciphertext_c1, record.ciphertext_c2)
+                message = sha256(
+                    b"ballot",
+                    record.election_id.encode(),
+                    ciphertext.to_bytes(),
+                    record.credential_public_key.to_bytes(),
+                )
+                items.append((record.credential_public_key, message, record.signature))
+            verdicts = verify_signatures(items, executor=ex)
+            valid.extend(record for record, ok in zip(page.records, verdicts) if ok)
         return deduplicate_ballots(valid)
 
     # ------------------------------------------------------------------ main run
 
     def run(
         self,
-        board: BulletinBoard,
+        board: "Board",
         num_options: int,
         election_id: str = "default",
         rotations=None,
     ) -> TallyResult:
         """Execute the full tally and return the published result.
 
+        ``board`` may be a :class:`BulletinBoard`, a raw
+        :class:`~repro.ledger.api.LedgerBackend` or a read-only
+        :class:`~repro.ledger.api.BoardView` — the tally only ever reads.
         ``rotations`` optionally supplies a
         :class:`repro.registration.extensions.RotationRegistry` (Appendix C.2):
         ballots cast with device keys are resolved back to the kiosk-issued
@@ -125,10 +138,11 @@ class TallyPipeline:
         rotated away from are dropped.
         """
         ex = resolve_executor(self.executor)
-        registrations = board.active_registrations()
+        view = as_board_view(board)
+        registrations = view.active_registrations()
         if not registrations:
             raise TallyError("no active registrations: nothing to tally")
-        ballots = self._valid_ballots(board, election_id, executor=ex)
+        ballots = self._valid_ballots(view, election_id, executor=ex)
         if rotations is not None:
             ballots = [b for b in ballots if not rotations.is_retired(b.credential_public_key)]
 
@@ -192,7 +206,7 @@ class TallyPipeline:
 
         return TallyResult(
             counts=counts,
-            num_ballots_on_ledger=board.num_ballots,
+            num_ballots_on_ledger=view.num_ballots,
             num_valid_ballots=len(ballots),
             num_counted=len(filter_result.counted),
             num_discarded=filter_result.discarded + filter_result.duplicate_tags,
@@ -204,10 +218,14 @@ class TallyPipeline:
         )
 
 
+#: Anything the tally can read a board from: the facade, a raw backend, or a view.
+Board = Union[BulletinBoard, LedgerBackend, BoardView]
+
+
 def verify_tally(
     group: Group,
     authority: DistributedKeyGeneration,
-    board: BulletinBoard,
+    board: Board,
     result: TallyResult,
     election_id: str = "default",
     rotations=None,
@@ -216,12 +234,14 @@ def verify_tally(
 ) -> bool:
     """Universal verification: re-check the published tally against the ledger.
 
-    An auditor re-derives the mix inputs from the ledger, verifies both mix
-    cascades, re-checks that the number of counted ballots never exceeds the
-    number of active registrations, and that the per-candidate totals sum to
-    the number of counted ballots.  (Tag-chain and decryption-share proofs are
-    verified inside the tagging / decryption primitives when ``verify=True``;
-    the pipeline exposes them through the filter result for spot checks.)
+    An auditor re-derives the mix inputs from the ledger (through the same
+    read-only :class:`~repro.ledger.api.BoardView` cursor API the tally
+    uses), verifies both mix cascades, re-checks that the number of counted
+    ballots never exceeds the number of active registrations, and that the
+    per-candidate totals sum to the number of counted ballots.  (Tag-chain
+    and decryption-share proofs are verified inside the tagging / decryption
+    primitives when ``verify=True``; the pipeline exposes them through the
+    filter result for spot checks.)
 
     ``executor`` fans the per-stage shuffle checks out across workers and
     ``batch`` enables random-linear-combination checking of the shadow-mix
@@ -230,7 +250,8 @@ def verify_tally(
     """
     ex = resolve_executor(executor)
     elgamal = ElGamal(group)
-    registrations = board.active_registrations()
+    view = as_board_view(board)
+    registrations = view.active_registrations()
     registration_inputs = [
         (ElGamalCiphertext(record.public_credential_c1, record.public_credential_c2),)
         for record in registrations
@@ -240,7 +261,7 @@ def verify_tally(
     ):
         return False
     if result.ballot_cascade.stages:
-        valid_records = TallyPipeline(group, authority)._valid_ballots(board, election_id, executor=ex)
+        valid_records = TallyPipeline(group, authority)._valid_ballots(view, election_id, executor=ex)
         if rotations is not None:
             valid_records = [r for r in valid_records if not rotations.is_retired(r.credential_public_key)]
 

@@ -22,12 +22,19 @@ from repro.voting.ballot import Ballot, make_ballot
 
 @dataclass(frozen=True)
 class VotingHistoryEntry:
-    """One remembered vote (credential fingerprint, election, choice)."""
+    """One remembered vote (credential fingerprint, election, choice).
+
+    ``ledger_seq`` is the sequence number the ballot ledger assigned to the
+    cast ballot — the client-side receipt that lets the device later locate
+    its ballot with a single cursor read (``read_ballots(since=seq, limit=1)``)
+    instead of scanning the ledger.
+    """
 
     election_id: str
     credential_public_key: GroupElement
     choice: int
     was_real_credential: bool
+    ledger_seq: int = -1
 
 
 @dataclass
@@ -72,13 +79,14 @@ class VotingClient:
             num_options,
             election_id=election_id,
         )
-        self.board.post_ballot(ballot.to_record())
+        seq = self.board.post_ballot(ballot.to_record())
         self.history.append(
             VotingHistoryEntry(
                 election_id=election_id,
                 credential_public_key=credential.public_key,
                 choice=choice,
                 was_real_credential=credential.is_real,
+                ledger_seq=seq,
             )
         )
         return ballot

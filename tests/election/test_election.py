@@ -1,9 +1,12 @@
 """The full Votegral election pipeline."""
 
+import random
+
 import pytest
 
 from repro.election import ElectionConfig, VotegralElection
 from repro.errors import ProtocolError
+from repro.ledger import BatchedBoard, MemoryBackend, SQLiteBackend
 
 
 class TestElectionConfig:
@@ -65,3 +68,41 @@ class TestFullElection:
         election.run_registration()
         for client in election.clients.values():
             assert client.real_credential().is_real
+
+    def test_phase_outputs_initialized_before_any_phase_runs(self):
+        # Out-of-order drivers must see empty defaults, not AttributeError.
+        election = VotegralElection(ElectionConfig(num_voters=2))
+        assert election._intended == {}
+        assert election._verified is False
+
+    def test_injected_rng_makes_voting_reproducible(self):
+        def run_with_seed(seed):
+            config = ElectionConfig(num_voters=4, num_options=3, proof_rounds=2, num_mixers=2)
+            election = VotegralElection(config)
+            election.run_setup()
+            election.run_registration()
+            return election.run_voting(rng=random.Random(seed))
+
+        assert run_with_seed(99) == run_with_seed(99)
+
+
+class TestBoardSpecs:
+    @pytest.mark.parametrize(
+        "spec, backend_type",
+        [("memory", MemoryBackend), ("sqlite", SQLiteBackend), ("batched:16", BatchedBoard)],
+    )
+    def test_config_selects_board_backend(self, spec, backend_type):
+        config = ElectionConfig(num_voters=2, board_spec=spec)
+        backend = config.make_board_backend()
+        assert isinstance(backend, backend_type)
+
+    def test_batched_board_election_matches_intent(self):
+        config = ElectionConfig(
+            num_voters=3, num_options=2, proof_rounds=2, num_mixers=2, board_spec="batched:4"
+        )
+        choices = {voter: 1 for voter in config.voter_ids()}
+        with VotegralElection(config) as election:
+            report = election.run(choices=choices)
+        assert report.result.counts == {0: 0, 1: 3}
+        assert report.universally_verified
+        assert report.config.board_spec == "batched:4"

@@ -26,6 +26,15 @@ class TestCasting:
         registered_client.cast_real(1, num_options=2)
         assert small_setup.board.num_ballots == 1
 
+    def test_history_records_ledger_sequence(self, small_setup, registered_client):
+        registered_client.cast_real(1, num_options=2)
+        registered_client.cast_fake(0, num_options=2)
+        seqs = [entry.ledger_seq for entry in registered_client.voting_history()]
+        assert seqs == [0, 1]
+        # The receipt locates the ballot with a single cursor read.
+        page = small_setup.board.read_ballots(since=seqs[0], limit=1)
+        assert page.records[0].credential_public_key == registered_client.real_credential().public_key
+
     def test_cast_fake_posts_indistinguishable_ballot(self, small_setup, registered_client):
         real = registered_client.cast_real(1, 2)
         fake = registered_client.cast_fake(0, 2)
