@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 
-from repro.bench.harness import ResultTable, format_seconds
+from repro.bench.harness import ResultTable, emit_bench_json, format_seconds
 from repro.crypto.hashing import sha256
 from repro.crypto.schnorr import schnorr_keygen, schnorr_sign
 from repro.ledger import BallotRecord, BatchedBoard, BulletinBoard, MemoryBackend
@@ -108,6 +108,20 @@ def test_batched_ingestion_outpaces_unbatched(fast_group):
     assert batched.verify_all_chains() and unbatched.verify_all_chains()
 
     speedup = batched_rate / unbatched_rate
+    emit_bench_json(
+        "board_ingestion",
+        {
+            "num_ballots": NUM_BALLOTS,
+            "unbatched_seconds": unbatched_seconds,
+            "batched_append_seconds": append_seconds,
+            "batched_flush_seconds": flush_seconds,
+            "sized_end_to_end_seconds": sized_seconds,
+            "unbatched_ballots_per_second": unbatched_rate,
+            "batched_ballots_per_second": batched_rate,
+            "speedup": speedup,
+            "required_speedup": REQUIRED_SPEEDUP,
+        },
+    )
     assert speedup >= REQUIRED_SPEEDUP, (
         f"batched ingestion only {speedup:.1f}× the unbatched append throughput "
         f"(required ≥ {REQUIRED_SPEEDUP}×)"

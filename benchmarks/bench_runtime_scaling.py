@@ -21,7 +21,7 @@ from __future__ import annotations
 import time
 from typing import Dict
 
-from repro.bench.harness import ResultTable, format_seconds, format_speedup, speedup_table
+from repro.bench.harness import ResultTable, emit_bench_json, format_seconds, format_speedup, speedup_table
 from repro.bench.workloads import tally_workload
 from repro.crypto.modp_group import modp_group_2048
 from repro.crypto.tagging import TaggingAuthority
@@ -114,6 +114,19 @@ def test_runtime_scaling(benchmark):
             format_speedup(serial_seconds, process_seconds),
         )
     scale_table.print()
+
+    emit_bench_json(
+        "runtime_scaling",
+        {
+            "cpus": available_workers(),
+            "population": WORKER_SWEEP_POPULATION,
+            "num_mixers": NUM_MIXERS,
+            "proof_rounds": PROOF_ROUNDS,
+            "backend_seconds": timings,
+            "verify_batched_process_seconds": parallel_verify,
+            "verify_exact_serial_seconds": exact_verify,
+        },
+    )
 
     for executor in executors.values():
         executor.close()

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.harness import ResultTable, format_seconds
+from repro.bench.harness import ResultTable, emit_bench_json, format_seconds
 from repro.election import ElectionConfig, VotegralElection
 
 POPULATION = 20
@@ -40,6 +40,18 @@ def test_real_pipeline_end_to_end(benchmark, fast_group):
     table.add_row("Voting", format_seconds(report.timing.voting_seconds), format_seconds(per_voter["voting"]))
     table.add_row("Tally", format_seconds(report.timing.tally_seconds), format_seconds(per_voter["tally"]))
     table.print()
+
+    emit_bench_json(
+        "votegral_pipeline",
+        {
+            "population": POPULATION,
+            "setup_seconds": report.timing.setup_seconds,
+            "registration_seconds": report.timing.registration_seconds,
+            "voting_seconds": report.timing.voting_seconds,
+            "tally_seconds": report.timing.tally_seconds,
+            "per_voter": per_voter,
+        },
+    )
 
     assert report.counts_match_intent
     assert report.universally_verified

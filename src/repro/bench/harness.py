@@ -8,8 +8,11 @@ number).
 
 from __future__ import annotations
 
+import json
+import os
 import statistics
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
 
@@ -72,6 +75,24 @@ class ResultTable:
 
     def print(self) -> None:  # pragma: no cover - console output
         print("\n" + self.render() + "\n")
+
+
+def emit_bench_json(name: str, payload: Dict[str, object]) -> Optional[Path]:
+    """Write machine-readable results to ``$REPRO_BENCH_JSON_DIR/BENCH_<name>.json``.
+
+    CI sets ``REPRO_BENCH_JSON_DIR`` and uploads the resulting files as build
+    artifacts, so perf regressions are diagnosable from numbers rather than
+    captured stdout.  A no-op (returning ``None``) when the variable is
+    unset, so local runs and plain pytest invocations stay side-effect free.
+    """
+    directory = os.environ.get("REPRO_BENCH_JSON_DIR")
+    if not directory:
+        return None
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n")
+    return path
 
 
 def format_speedup(baseline_seconds: float, value_seconds: float) -> str:

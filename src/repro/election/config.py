@@ -10,6 +10,7 @@ from repro.crypto.modp_group import testing_group
 from repro.ledger.api import LedgerBackend, board_from_spec
 from repro.ledger.bulletin_board import BulletinBoard
 from repro.runtime.executor import Executor, executor_from_spec
+from repro.runtime.pipeline import PipelineSpec, pipeline_from_spec
 
 
 @dataclass
@@ -32,6 +33,13 @@ class ElectionConfig:
     :func:`repro.ledger.api.board_from_spec`).  Every backend accepts the
     same append commands and produces bit-identical hash chains; only
     ingestion latency and durability move.
+
+    ``pipeline_spec`` selects the tally's dataflow schedule — ``"serial"``
+    (default: each phase runs to completion) or
+    ``"stream[:shard_size[:queue_depth]]"`` (ballot shards flow through the
+    signature check, all mixers, tagging, the join and decryption
+    concurrently; see :func:`repro.runtime.pipeline.pipeline_from_spec`).
+    Both schedules publish bit-identical results; only the wall clock moves.
     """
 
     num_voters: int = 10
@@ -46,6 +54,7 @@ class ElectionConfig:
     group_factory: Callable[[], Group] = testing_group
     executor_spec: str = "serial"
     board_spec: str = "memory"
+    pipeline_spec: str = "serial"
 
     def voter_ids(self) -> List[str]:
         width = max(4, len(str(self.num_voters)))
@@ -56,6 +65,9 @@ class ElectionConfig:
 
     def make_executor(self) -> Executor:
         return executor_from_spec(self.executor_spec)
+
+    def make_pipeline(self) -> PipelineSpec:
+        return pipeline_from_spec(self.pipeline_spec)
 
     def make_board_backend(self, group: Optional[Group] = None) -> LedgerBackend:
         return board_from_spec(self.board_spec, group=group)

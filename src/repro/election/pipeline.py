@@ -66,6 +66,7 @@ class VotegralElection:
         self.config = config or ElectionConfig()
         self.group = self.config.make_group()
         self.executor = self.config.make_executor()
+        self.pipeline_spec = self.config.make_pipeline()
         self.setup: Optional[ElectionSetup] = None
         self.clients: Dict[str, VotingClient] = {}
         self.outcomes: List[RegistrationOutcome] = []
@@ -173,11 +174,13 @@ class VotegralElection:
             num_mixers=self.config.num_mixers,
             proof_rounds=self.config.proof_rounds,
             executor=self.executor,
+            pipeline=self.pipeline_spec,
         )
         result = pipeline.run(self.setup.board, self.config.num_options, self.config.election_id)
         self.timing.tally_seconds = time.perf_counter() - start
         self._verified = verify_tally(self.group, self.setup.authority, self.setup.board, result,
-                                      self.config.election_id, executor=self.executor) if verify else False
+                                      self.config.election_id, executor=self.executor,
+                                      pipeline=self.pipeline_spec) if verify else False
         return result
 
     # ------------------------------------------------------------------ end-to-end

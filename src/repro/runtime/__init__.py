@@ -17,7 +17,13 @@ accelerations that compose with any backend:
   for Schnorr signatures, Chaum–Pedersen transcripts, and the re-encryption
   openings of shuffle proofs;
 * :mod:`repro.runtime.sharding` — how per-ballot work is split across
-  workers so parallel output stays bit-identical to the serial reference.
+  workers so parallel output stays bit-identical to the serial reference;
+* :mod:`repro.runtime.pipeline` — a streaming shard pipeline (bounded
+  per-stage queues, order-preserving reassembly, backpressure, error
+  propagation/cancellation) that lets the mix cascade and the
+  filter→mix→decrypt path overlap stages instead of running phase barriers
+  (configure per election via
+  :attr:`repro.election.config.ElectionConfig.pipeline_spec`).
 
 Importing this package installs the fixed-base accelerator hook; everything
 else is opt-in per call (``executor=...``) or per election (config).
@@ -33,6 +39,18 @@ from repro.runtime.executor import (
     get_default_executor,
     resolve_executor,
     set_default_executor,
+)
+from repro.runtime.pipeline import (
+    MapStage,
+    PipelineSpec,
+    Shard,
+    ShardReassembler,
+    Stage,
+    StopPipeline,
+    StreamPipeline,
+    iter_shards,
+    pipeline_from_spec,
+    shard_boundaries,
 )
 from repro.runtime.precompute import (
     FixedBaseTable,
@@ -57,4 +75,14 @@ __all__ = [
     "warm_fixed_base",
     "set_precompute_enabled",
     "clear_tables",
+    "Shard",
+    "Stage",
+    "MapStage",
+    "ShardReassembler",
+    "StreamPipeline",
+    "StopPipeline",
+    "PipelineSpec",
+    "pipeline_from_spec",
+    "iter_shards",
+    "shard_boundaries",
 ]

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import abc
 import os
+import threading
+import time
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 
@@ -68,6 +70,11 @@ def _star_chunk(fn: Callable[..., Any], chunk: Sequence[Tuple]) -> List[Any]:
     return [fn(*args) for args in chunk]
 
 
+def _warm_task(seconds: float) -> None:
+    """A short nap used by :meth:`Executor.warm` to force worker spawn."""
+    time.sleep(seconds)
+
+
 class Executor(abc.ABC):
     """An order-preserving ``map``/``starmap`` engine over a worker pool."""
 
@@ -84,6 +91,15 @@ class Executor(abc.ABC):
 
     def close(self) -> None:
         """Release pool resources.  Safe to call more than once."""
+
+    def warm(self) -> None:
+        """Spin up any backing worker pool from the calling thread.
+
+        Pool creation is otherwise lazy, which means a process pool could
+        fork from inside a pipeline stage thread; calling ``warm`` before
+        starting threads keeps the fork single-threaded.  A no-op for
+        poolless backends.
+        """
 
     # ------------------------------------------------------------------ mapping
 
@@ -143,6 +159,8 @@ class _PoolExecutor(Executor):
     def __init__(self, num_workers: Optional[int] = None):
         self._num_workers = max(1, num_workers if num_workers is not None else available_workers())
         self._pool = None
+        self._pool_lock = threading.Lock()
+        self._warmed = False
 
     @property
     def num_workers(self) -> int:
@@ -153,9 +171,30 @@ class _PoolExecutor(Executor):
         """Create the underlying concurrent.futures pool."""
 
     def _ensure_pool(self):
-        if self._pool is None:
-            self._pool = self._make_pool()
-        return self._pool
+        # Locked: pipeline stages share one executor across threads, and two
+        # racing first submissions must not each build a pool.
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = self._make_pool()
+            return self._pool
+
+    def warm(self) -> None:
+        """Create the pool and force every worker to spawn now.
+
+        Submitting ``num_workers`` concurrent short sleeps makes
+        ``concurrent.futures`` bring up its full worker complement now —
+        pools otherwise spawn lazily, one worker per submit, so a
+        partially-used pool could still fork from inside a stage thread.
+        Idempotent per pool lifetime: after the first full warm, later calls
+        return immediately (the streaming tally warms before every pipeline
+        it builds).
+        """
+        if self._warmed and self._pool is not None:
+            return
+        pool = self._ensure_pool()
+        for future in [pool.submit(_warm_task, 0.01) for _ in range(self._num_workers)]:
+            future.result()
+        self._warmed = True
 
     def _run_chunks(self, applier, fn, chunks):
         pool = self._ensure_pool()
@@ -166,6 +205,7 @@ class _PoolExecutor(Executor):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self._warmed = False
 
 
 class ThreadExecutor(_PoolExecutor):

@@ -56,6 +56,52 @@ def _blinded_tag_bytes(
     return tagging.blind_and_decrypt(dkg, ciphertext, verify=verify).to_bytes()
 
 
+class TagJoiner:
+    """The stateful linear hash join of ballot tags against registration tags.
+
+    First match wins (at most one counted ballot per registration tag);
+    further ballots with a known registration tag count as duplicates, the
+    rest are discarded.  Both the serial :func:`filter_ballots` and the
+    streaming tally's join stage feed this one implementation, so the two
+    schedules cannot drift apart semantically.
+    """
+
+    def __init__(self, registration_tags: Sequence[bytes]):
+        self.registration_tags = list(registration_tags)
+        self._registered = set(self.registration_tags)
+        self._remaining = set(self.registration_tags)
+        self.counted: List[ElGamalCiphertext] = []
+        self.ballot_tags: List[bytes] = []
+        self.discarded = 0
+        self.duplicate_tags = 0
+
+    def feed(
+        self, tagged_votes: Sequence[Tuple[ElGamalCiphertext, bytes]]
+    ) -> List[ElGamalCiphertext]:
+        """Join a batch of (vote ciphertext, blinded tag); return the newly counted votes."""
+        newly_counted: List[ElGamalCiphertext] = []
+        for vote_ciphertext, tag_bytes in tagged_votes:
+            self.ballot_tags.append(tag_bytes)
+            if tag_bytes in self._remaining:
+                newly_counted.append(vote_ciphertext)
+                self._remaining.discard(tag_bytes)
+            elif tag_bytes in self._registered:
+                self.duplicate_tags += 1
+            else:
+                self.discarded += 1
+        self.counted.extend(newly_counted)
+        return newly_counted
+
+    def result(self) -> FilterResult:
+        return FilterResult(
+            counted=self.counted,
+            discarded=self.discarded,
+            duplicate_tags=self.duplicate_tags,
+            registration_tags=self.registration_tags,
+            ballot_tags=self.ballot_tags,
+        )
+
+
 def filter_ballots(
     dkg: DistributedKeyGeneration,
     tagging: TaggingAuthority,
@@ -82,25 +128,6 @@ def filter_ballots(
     registration_tags = all_tags[: len(mixed_registration_tags)]
     pair_tags = all_tags[len(mixed_registration_tags) :]
 
-    counted: List[ElGamalCiphertext] = []
-    ballot_tags: List[bytes] = []
-    discarded = 0
-    duplicate_tags = 0
-    remaining = set(registration_tags)
-    for (vote_ciphertext, _), tag_bytes in zip(mixed_pairs, pair_tags):
-        ballot_tags.append(tag_bytes)
-        if tag_bytes in remaining:
-            counted.append(vote_ciphertext)
-            remaining.discard(tag_bytes)
-        elif tag_bytes in registration_tags:
-            duplicate_tags += 1
-        else:
-            discarded += 1
-
-    return FilterResult(
-        counted=counted,
-        discarded=discarded,
-        duplicate_tags=duplicate_tags,
-        registration_tags=registration_tags,
-        ballot_tags=ballot_tags,
-    )
+    joiner = TagJoiner(registration_tags)
+    joiner.feed([(vote, tag) for (vote, _), tag in zip(mixed_pairs, pair_tags)])
+    return joiner.result()

@@ -5,11 +5,38 @@ and produces a :class:`TallyResult`: per-candidate totals plus every proof an
 auditor needs (ballot validity filter, the two mix cascades, the tagging
 chains implicit in the filter, and the threshold-decryption shares are
 re-checkable through :func:`verify_tally`).
+
+Two schedules produce that result, selected by ``pipeline``
+(:class:`~repro.runtime.pipeline.PipelineSpec`, configured per election via
+``ElectionConfig.pipeline_spec``):
+
+* **serial** (the reference): each phase runs to completion — read + check
+  ballots, mix, filter, decrypt;
+* **streaming**: cursor-paged ballot shards from the ledger flow through a
+  :class:`~repro.runtime.pipeline.StreamPipeline` whose stages are the
+  signature check, every mixer of the cascade, blinded-tag derivation, the
+  tag join, and threshold decryption — so mixer *i+1* (and everything
+  downstream) works on shard *k* while mixer *i* works on shard *k+1* and
+  computes its shadow proofs.
+
+Both schedules are bit-identical in everything published: all randomness
+that shapes the output (shuffle plans, tagging secrets) is drawn in the
+calling thread in the same order on both paths, and everything downstream of
+those draws is deterministic.  Only proof *nonces* (decryption-share and
+tagging Chaum–Pedersen commitments, RLC batch coefficients) are drawn inside
+workers, and none of them appear in the result.
+
+One real barrier remains and is worth documenting: ballot deduplication is
+last-write-wins per credential, and the shuffle permutations need the final
+ballot count, so the mix cannot start before the ledger read completes.  The
+streaming path therefore makes one cursor-paged pass for signature checking
+and dedup (itself pipelined), then streams the deduplicated shards through
+the cascade.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.crypto.dkg import DistributedKeyGeneration
@@ -20,13 +47,32 @@ from repro.crypto.tagging import TaggingAuthority
 from repro.errors import TallyError
 from repro.ledger.api import BoardView, LedgerBackend, as_board_view
 from repro.ledger.bulletin_board import BulletinBoard
-from repro.ledger.records import BallotRecord, RegistrationRecord
+from repro.ledger.records import BallotRecord
 from repro.runtime.batch import verify_signatures
 from repro.runtime.executor import Executor, resolve_executor
-from repro.tally.decrypt import DecryptedVote, aggregate, decrypt_votes
-from repro.tally.filter import FilterResult, deduplicate_ballots, filter_ballots
+from repro.runtime.pipeline import (
+    PipelineSpec,
+    Shard,
+    Stage,
+    StreamPipeline,
+    iter_shards,
+    shard_boundaries,
+)
+from repro.runtime.sharding import parallel_starmap
+from repro.tally.decrypt import DecryptedVote, _decrypt_one, aggregate, decrypt_votes
+from repro.tally.filter import (
+    FilterResult,
+    TagJoiner,
+    _blinded_tag_bytes,
+    deduplicate_ballots,
+    filter_ballots,
+)
 from repro.tally.mixnet import (
     TupleCascade,
+    make_mixer_stages,
+    plan_tuple_cascade,
+    streaming_tuple_mix_cascade,
+    streaming_verify_tuple_cascade,
     tuple_mix_cascade,
     verify_tuple_cascade,
 )
@@ -56,6 +102,93 @@ class TallyResult:
         return max(sorted(self.counts), key=lambda option: self.counts[option])
 
 
+def _ballot_signature_items(records: List[BallotRecord]) -> List[Tuple]:
+    """The (public key, message, signature) triples one ballot page verifies."""
+    items = []
+    for record in records:
+        ciphertext = ElGamalCiphertext(record.ciphertext_c1, record.ciphertext_c2)
+        message = sha256(
+            b"ballot",
+            record.election_id.encode(),
+            ciphertext.to_bytes(),
+            record.credential_public_key.to_bytes(),
+        )
+        items.append((record.credential_public_key, message, record.signature))
+    return items
+
+
+class _SignaturePageStage(Stage):
+    """Batch-verify one cursor page of ballots; emit the valid records."""
+
+    name = "sig-check"
+
+    def __init__(self, executor: Optional[Executor]):
+        self.executor = executor
+
+    def process(self, shard: Shard):
+        verdicts = verify_signatures(_ballot_signature_items(shard.items), executor=self.executor)
+        yield Shard(shard.index, [record for record, ok in zip(shard.items, verdicts) if ok])
+
+
+class _TagStage(Stage):
+    """Derive the blinded tag for each mixed (vote, credential) pair."""
+
+    name = "blind-tags"
+
+    def __init__(self, tagging: TaggingAuthority, dkg: DistributedKeyGeneration, executor: Optional[Executor]):
+        self.tagging = tagging
+        self.dkg = dkg
+        self.executor = executor
+
+    def process(self, shard: Shard):
+        tags = parallel_starmap(
+            _blinded_tag_bytes,
+            [(self.tagging, self.dkg, credential, False) for _, credential in shard.items],
+            executor=self.executor,
+        )
+        yield Shard(shard.index, [(vote, tag) for (vote, _), tag in zip(shard.items, tags)])
+
+
+class _JoinStage(Stage):
+    """The linear hash join of ballot tags against registration tags (§7.4).
+
+    Stateful and strictly in-order (it consumes one shard at a time from its
+    input queue); the join semantics live in the shared
+    :class:`~repro.tally.filter.TagJoiner`, the same implementation the
+    serial :func:`~repro.tally.filter.filter_ballots` uses — the two
+    schedules cannot drift apart.
+    """
+
+    name = "tag-join"
+
+    def __init__(self, registration_tags: List[bytes]):
+        self.joiner = TagJoiner(registration_tags)
+
+    def process(self, shard: Shard):
+        counted = self.joiner.feed(shard.items)
+        if counted:
+            yield Shard(shard.index, counted)
+
+
+class _DecryptStage(Stage):
+    """Threshold-decrypt the counted vote ciphertexts."""
+
+    name = "decrypt"
+
+    def __init__(self, dkg: DistributedKeyGeneration, num_options: int, executor: Optional[Executor]):
+        self.dkg = dkg
+        self.num_options = num_options
+        self.executor = executor
+
+    def process(self, shard: Shard):
+        votes = parallel_starmap(
+            _decrypt_one,
+            [(self.dkg, ciphertext, self.num_options, False) for ciphertext in shard.items],
+            executor=self.executor,
+        )
+        yield Shard(shard.index, votes)
+
+
 @dataclass
 class TallyPipeline:
     """Runs the Votegral tally over a bulletin board.
@@ -67,6 +200,8 @@ class TallyPipeline:
     fresh one is drawn per run (reusing a tagging exponent across elections
     would link ballots), but injection enables deterministic replay and lets
     an auditor re-run filtering against a disclosed tagging transcript.
+    ``pipeline`` selects the serial or streaming schedule (see the module
+    docstring); both publish bit-identical results.
     """
 
     group: Group
@@ -76,6 +211,7 @@ class TallyPipeline:
     verify_internally: bool = False
     executor: Optional[Executor] = None
     tagging: Optional[TaggingAuthority] = None
+    pipeline: Optional[PipelineSpec] = None
     #: Ballot-ledger shard size for the cursor-based reads below.
     read_page_size: int = 1024
 
@@ -89,6 +225,7 @@ class TallyPipeline:
         board: "Board",
         election_id: str,
         executor: Optional[Executor] = None,
+        pipeline: Optional[PipelineSpec] = None,
     ) -> List[BallotRecord]:
         """Signature-check and deduplicate the ballots on the ledger.
 
@@ -97,23 +234,28 @@ class TallyPipeline:
         more than bookkeeping state per shard.  Signatures are checked with
         the random-linear-combination batch verifier per shard: one batched
         equation when every signature is valid (the common case), bisection
-        to isolate forgeries otherwise.
+        to isolate forgeries otherwise.  With a streaming ``pipeline``, the
+        cursor reads and the signature checks overlap (the reader fetches
+        page *k+1* while page *k* verifies).
         """
         view = as_board_view(board)
         ex = executor if executor is not None else self.executor
+        spec = pipeline if pipeline is not None else self.pipeline
+        if spec is not None and spec.streaming:
+            pages = (
+                Shard(index, page.records)
+                for index, page in enumerate(
+                    view.iter_ballot_pages(election_id=election_id, page_size=self.read_page_size)
+                )
+            )
+            shards = StreamPipeline(
+                [_SignaturePageStage(ex)], queue_depth=spec.queue_depth, name="ballot-read"
+            ).run(pages)
+            valid = [record for shard in shards for record in shard.items]
+            return deduplicate_ballots(valid)
         valid: List[BallotRecord] = []
         for page in view.iter_ballot_pages(election_id=election_id, page_size=self.read_page_size):
-            items = []
-            for record in page.records:
-                ciphertext = ElGamalCiphertext(record.ciphertext_c1, record.ciphertext_c2)
-                message = sha256(
-                    b"ballot",
-                    record.election_id.encode(),
-                    ciphertext.to_bytes(),
-                    record.credential_public_key.to_bytes(),
-                )
-                items.append((record.credential_public_key, message, record.signature))
-            verdicts = verify_signatures(items, executor=ex)
+            verdicts = verify_signatures(_ballot_signature_items(page.records), executor=ex)
             valid.extend(record for record, ok in zip(page.records, verdicts) if ok)
         return deduplicate_ballots(valid)
 
@@ -138,11 +280,16 @@ class TallyPipeline:
         rotated away from are dropped.
         """
         ex = resolve_executor(self.executor)
+        spec = self.pipeline if self.pipeline is not None else PipelineSpec(streaming=False)
+        if spec.streaming:
+            # Fork/spawn any worker pool while this is still the only thread;
+            # the first pipeline (the ledger read below) starts stage threads.
+            ex.warm()
         view = as_board_view(board)
         registrations = view.active_registrations()
         if not registrations:
             raise TallyError("no active registrations: nothing to tally")
-        ballots = self._valid_ballots(view, election_id, executor=ex)
+        ballots = self._valid_ballots(view, election_id, executor=ex, pipeline=spec)
         if rotations is not None:
             ballots = [b for b in ballots if not rotations.is_retired(b.credential_public_key)]
 
@@ -167,27 +314,21 @@ class TallyPipeline:
             for record in ballots
         ]
 
-        registration_cascade = tuple_mix_cascade(
-            self.elgamal, self.authority.public_key, registration_inputs, self.num_mixers, self.proof_rounds,
-            executor=ex,
-        )
-        if ballot_inputs:
-            ballot_cascade = tuple_mix_cascade(
-                self.elgamal, self.authority.public_key, ballot_inputs, self.num_mixers, self.proof_rounds,
-                executor=ex,
+        # num_mixers == 0 must take the serial path: an empty cascade publishes
+        # no mixed pairs, so nothing is counted — the streaming stages would
+        # otherwise feed raw ballots straight into tagging.
+        if spec.streaming and ballot_inputs and self.num_mixers > 0:
+            return self._run_streaming(
+                view, ballots, registration_inputs, ballot_inputs, num_options, spec, ex
             )
+
+        registration_cascade = self._mix(registration_inputs, spec, ex)
+        if ballot_inputs:
+            ballot_cascade = self._mix(ballot_inputs, spec, ex)
         else:
             ballot_cascade = TupleCascade(stages=[])
 
-        if self.verify_internally:
-            if not verify_tuple_cascade(
-                self.elgamal, self.authority.public_key, registration_inputs, registration_cascade, executor=ex
-            ):
-                raise TallyError("registration mix cascade failed self-verification")
-            if ballot_inputs and not verify_tuple_cascade(
-                self.elgamal, self.authority.public_key, ballot_inputs, ballot_cascade, executor=ex
-            ):
-                raise TallyError("ballot mix cascade failed self-verification")
+        self._self_verify(registration_inputs, registration_cascade, ballot_inputs, ballot_cascade, ex)
 
         mixed_registrations = [item[0] for item in (registration_cascade.outputs or registration_inputs)]
         mixed_pairs: List[Tuple[ElGamalCiphertext, ElGamalCiphertext]] = [
@@ -204,6 +345,99 @@ class TallyPipeline:
         votes = decrypt_votes(self.authority, filter_result.counted, num_options, verify=False, executor=ex)
         counts = aggregate(votes, num_options)
 
+        return self._result(
+            view, counts, ballots, registration_cascade, ballot_cascade, filter_result, votes, num_options
+        )
+
+    # ------------------------------------------------------------------ streaming run
+
+    def _run_streaming(
+        self,
+        view: BoardView,
+        ballots: List[BallotRecord],
+        registration_inputs,
+        ballot_inputs,
+        num_options: int,
+        spec: PipelineSpec,
+        ex: Executor,
+    ) -> TallyResult:
+        """The streaming schedule: one pipeline from mix input to decrypted vote.
+
+        Randomness-tape discipline (what keeps this bit-identical to the
+        serial path): the draws that shape published output happen in this
+        thread in serial-path order — registration-cascade plans, then
+        ballot-cascade plans, then the tagging secrets.  The pipeline itself
+        only computes deterministic functions of those draws.
+        """
+        public_key = self.authority.public_key
+        registration_cascade = streaming_tuple_mix_cascade(
+            self.elgamal, public_key, registration_inputs, self.num_mixers, self.proof_rounds,
+            executor=ex, pipeline=spec,
+        )
+        mixed_registrations = [item[0] for item in (registration_cascade.outputs or registration_inputs)]
+
+        plans = plan_tuple_cascade(
+            self.elgamal, len(ballot_inputs), len(ballot_inputs[0]), self.num_mixers, self.proof_rounds
+        )
+        tagging = self.tagging if self.tagging is not None else TaggingAuthority.create(
+            self.group, self.authority.num_members
+        )
+        registration_tags = parallel_starmap(
+            _blinded_tag_bytes,
+            [(tagging, self.authority, ciphertext, False) for ciphertext in mixed_registrations],
+            executor=ex,
+        )
+
+        boundaries = shard_boundaries(len(ballot_inputs), spec.shard_size)
+        mixer_stages = make_mixer_stages(self.elgamal, public_key, plans, boundaries, executor=ex)
+        join_stage = _JoinStage(registration_tags)
+        stages = mixer_stages + [
+            _TagStage(tagging, self.authority, ex),
+            join_stage,
+            _DecryptStage(self.authority, num_options, ex),
+        ]
+        vote_shards = StreamPipeline(stages, queue_depth=spec.queue_depth, name="tally").run(
+            iter_shards(ballot_inputs, spec.shard_size)
+        )
+        votes: List[DecryptedVote] = [vote for shard in vote_shards for vote in shard.items]
+
+        ballot_cascade = TupleCascade(stages=[stage.result for stage in mixer_stages])
+        self._self_verify(registration_inputs, registration_cascade, ballot_inputs, ballot_cascade, ex)
+
+        filter_result = join_stage.joiner.result()
+        counts = aggregate(votes, num_options)
+        return self._result(
+            view, counts, ballots, registration_cascade, ballot_cascade, filter_result, votes, num_options
+        )
+
+    # ------------------------------------------------------------------ helpers
+
+    def _mix(self, inputs, spec: PipelineSpec, ex: Executor) -> TupleCascade:
+        if spec.streaming and inputs:
+            return streaming_tuple_mix_cascade(
+                self.elgamal, self.authority.public_key, inputs, self.num_mixers, self.proof_rounds,
+                executor=ex, pipeline=spec,
+            )
+        return tuple_mix_cascade(
+            self.elgamal, self.authority.public_key, inputs, self.num_mixers, self.proof_rounds,
+            executor=ex,
+        )
+
+    def _self_verify(self, registration_inputs, registration_cascade, ballot_inputs, ballot_cascade, ex) -> None:
+        if not self.verify_internally:
+            return
+        if not verify_tuple_cascade(
+            self.elgamal, self.authority.public_key, registration_inputs, registration_cascade, executor=ex
+        ):
+            raise TallyError("registration mix cascade failed self-verification")
+        if ballot_inputs and not verify_tuple_cascade(
+            self.elgamal, self.authority.public_key, ballot_inputs, ballot_cascade, executor=ex
+        ):
+            raise TallyError("ballot mix cascade failed self-verification")
+
+    def _result(
+        self, view, counts, ballots, registration_cascade, ballot_cascade, filter_result, votes, num_options
+    ) -> TallyResult:
         return TallyResult(
             counts=counts,
             num_ballots_on_ledger=view.num_ballots,
@@ -231,6 +465,7 @@ def verify_tally(
     rotations=None,
     executor: Optional[Executor] = None,
     batch: bool = True,
+    pipeline: Optional[PipelineSpec] = None,
 ) -> bool:
     """Universal verification: re-check the published tally against the ledger.
 
@@ -246,9 +481,21 @@ def verify_tally(
     ``executor`` fans the per-stage shuffle checks out across workers and
     ``batch`` enables random-linear-combination checking of the shadow-mix
     openings — auditors who insist on the exact reference equations can pass
-    ``batch=False``.
+    ``batch=False``.  A streaming ``pipeline`` verifies the cascades shard by
+    shard and cancels outstanding work at the first failed check.
     """
     ex = resolve_executor(executor)
+    spec = pipeline if pipeline is not None else PipelineSpec(streaming=False)
+
+    def _verify_cascade(inputs, cascade) -> bool:
+        if spec.streaming:
+            return streaming_verify_tuple_cascade(
+                elgamal, authority.public_key, inputs, cascade, executor=ex, pipeline=spec, batch=batch
+            )
+        return verify_tuple_cascade(
+            elgamal, authority.public_key, inputs, cascade, executor=ex, batch=batch
+        )
+
     elgamal = ElGamal(group)
     view = as_board_view(board)
     registrations = view.active_registrations()
@@ -256,12 +503,12 @@ def verify_tally(
         (ElGamalCiphertext(record.public_credential_c1, record.public_credential_c2),)
         for record in registrations
     ]
-    if not verify_tuple_cascade(
-        elgamal, authority.public_key, registration_inputs, result.registration_cascade, executor=ex, batch=batch
-    ):
+    if not _verify_cascade(registration_inputs, result.registration_cascade):
         return False
     if result.ballot_cascade.stages:
-        valid_records = TallyPipeline(group, authority)._valid_ballots(view, election_id, executor=ex)
+        valid_records = TallyPipeline(group, authority)._valid_ballots(
+            view, election_id, executor=ex, pipeline=spec
+        )
         if rotations is not None:
             valid_records = [r for r in valid_records if not rotations.is_retired(r.credential_public_key)]
 
@@ -275,9 +522,7 @@ def verify_tally(
             )
             for record in valid_records
         ]
-        if not verify_tuple_cascade(
-            elgamal, authority.public_key, ballot_inputs, result.ballot_cascade, executor=ex, batch=batch
-        ):
+        if not _verify_cascade(ballot_inputs, result.ballot_cascade):
             return False
     if result.num_counted > len(registrations):
         return False

@@ -1,0 +1,134 @@
+"""Disk persistence of fixed-base tables (process pools / repeated runs)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.crypto.modp_group import modp_group_256, testing_group as toy_group
+from repro.runtime import precompute
+from repro.runtime.precompute import (
+    AUTO_BUILD_THRESHOLD,
+    FixedBaseTable,
+    clear_tables,
+    disk_cache_dir,
+    disk_cache_stats,
+    element_power,
+    set_disk_cache,
+    warm_fixed_base,
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path):
+    """Point the disk cache at a per-test directory; restore afterwards."""
+    clear_tables()
+    previous = set_disk_cache(tmp_path)
+    yield tmp_path
+    clear_tables()
+    set_disk_cache(previous)
+
+
+@pytest.fixture(scope="module")
+def big_group():
+    return modp_group_256()
+
+
+def test_save_and_load_roundtrip(big_group, isolated_cache):
+    warmed = warm_fixed_base(big_group.generator)
+    assert warmed is not None
+    files = list(isolated_cache.glob("table-*.json"))
+    assert len(files) == 1
+
+    clear_tables()  # simulate a fresh process
+    hits_before, _ = disk_cache_stats()
+    loaded = warm_fixed_base(big_group.generator)
+    hits_after, _ = disk_cache_stats()
+    assert hits_after == hits_before + 1
+    for exponent in (0, 1, 7, big_group.order - 1, big_group.order // 3):
+        assert loaded.power(exponent) == big_group.generator.exponentiate(exponent)
+
+
+def test_loaded_table_equals_built_table(big_group):
+    built = FixedBaseTable(big_group.generator)
+    warm_fixed_base(big_group.generator)
+    clear_tables()
+    loaded = warm_fixed_base(big_group.generator)
+    assert loaded._rows == built._rows
+    assert loaded.window_bits == built.window_bits
+
+
+def test_auto_build_path_also_persists(big_group, isolated_cache):
+    base = big_group.hash_to_element(b"hot base")
+    for _ in range(AUTO_BUILD_THRESHOLD):
+        element_power(base, 3)
+    assert list(isolated_cache.glob("table-*.json"))
+    clear_tables()
+    # The auto-built table reloads from disk on the next threshold crossing.
+    hits_before, _ = disk_cache_stats()
+    for _ in range(AUTO_BUILD_THRESHOLD):
+        assert element_power(base, 5) == base.exponentiate(5)
+    assert disk_cache_stats()[0] == hits_before + 1
+
+
+def test_distinct_keys_per_base_and_window(big_group, isolated_cache):
+    warm_fixed_base(big_group.generator, window_bits=5)
+    clear_tables()  # the in-memory cache is per-base; force a fresh build
+    warm_fixed_base(big_group.generator, window_bits=4)
+    warm_fixed_base(big_group.hash_to_element(b"other"), window_bits=5)
+    assert len(list(isolated_cache.glob("table-*.json"))) == 3
+
+
+def test_corrupt_cache_file_falls_back_to_rebuild(big_group, isolated_cache):
+    warm_fixed_base(big_group.generator)
+    (entry,) = isolated_cache.glob("table-*.json")
+    entry.write_bytes(b"not json at all {")
+    clear_tables()
+    _, misses_before = disk_cache_stats()
+    rebuilt = warm_fixed_base(big_group.generator)
+    assert disk_cache_stats()[1] == misses_before + 1
+    assert rebuilt.power(99) == big_group.generator.exponentiate(99)
+
+
+def test_mismatched_payload_is_rejected(big_group, isolated_cache):
+    warm_fixed_base(big_group.generator)
+    (entry,) = isolated_cache.glob("table-*.json")
+    payload = json.loads(entry.read_text())
+    payload["base"] = "00" * (len(payload["base"]) // 2)  # claims a different base
+    entry.write_text(json.dumps(payload))
+    clear_tables()
+    rebuilt = warm_fixed_base(big_group.generator)  # ignores the lying entry
+    assert rebuilt.power(17) == big_group.generator.exponentiate(17)
+
+
+def test_wrong_shape_payload_is_rejected(big_group, isolated_cache):
+    warm_fixed_base(big_group.generator)
+    (entry,) = isolated_cache.glob("table-*.json")
+    payload = json.loads(entry.read_text())
+    payload["rows"] = payload["rows"][:-1]  # truncated table
+    entry.write_text(json.dumps(payload))
+    clear_tables()
+    rebuilt = warm_fixed_base(big_group.generator)
+    assert rebuilt.power(23) == big_group.generator.exponentiate(23)
+    assert len(json.loads(entry.read_text())["rows"]) > len(payload["rows"])  # re-saved complete
+
+
+def test_disabled_cache_never_touches_disk(big_group, isolated_cache):
+    set_disk_cache(None)
+    assert disk_cache_dir() is None
+    warm_fixed_base(big_group.generator)
+    assert not list(isolated_cache.glob("table-*.json"))
+
+
+def test_small_groups_never_cached(isolated_cache):
+    assert warm_fixed_base(toy_group().generator) is None
+    assert not list(isolated_cache.glob("table-*.json"))
+
+
+def test_unwritable_cache_dir_is_harmless(big_group, tmp_path):
+    set_disk_cache(tmp_path / "file-not-dir" / "nested")
+    (tmp_path / "file-not-dir").write_text("a plain file blocks mkdir")
+    table = warm_fixed_base(big_group.generator)  # build succeeds, save fails quietly
+    assert table is not None
+    assert table.power(42) == big_group.generator.exponentiate(42)
