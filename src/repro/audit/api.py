@@ -1,0 +1,363 @@
+"""The unified, strategy-pluggable verification API (version 1).
+
+Every proof obligation in the system — a Schnorr signature, a Chaum–Pedersen
+transcript, a shuffle-round opening, a tagging chain, a ledger hash chain, a
+count invariant — is expressed as a typed :class:`Check`: a *kind* (which
+registered predicate judges it), a *name* (the failure locus an auditor
+reads), and the *evidence* tuple the predicate consumes.  Checks collect
+into an :class:`AuditPlan` and a pluggable :class:`Verifier` executes the
+plan with one of three strategies:
+
+* :class:`EagerVerifier` — every check runs its kind's reference predicate,
+  one by one, in plan order.  The semantics every other strategy must
+  reproduce verdict-for-verdict.
+* :class:`BatchedVerifier` — checks are grouped by kind and, for kinds with
+  a registered *fold*, whole chunks collapse into a single
+  random-linear-combination product check (:mod:`repro.runtime.batch`); a
+  rejected chunk bisects to isolate exact per-check verdicts, so the common
+  all-valid case pays one batched equation and a corrupted transcript still
+  names its locus.
+* :class:`StreamingVerifier` — check shards ride a
+  :class:`~repro.runtime.pipeline.StreamPipeline` (batched verification per
+  shard) and the sink cancels outstanding shards at the first failure, so a
+  rejecting auditor pays for the failing shard, not the whole plan.
+
+Every strategy returns an :class:`AuditReport` — per-check outcomes in plan
+order, failure loci, counts, timings — instead of a naked boolean.  Reports
+compare (and fingerprint) over their *outcomes only*, so eager, batched and
+streaming runs of the same plan over valid evidence produce equal reports,
+which the mutation suite in ``tests/audit`` pins down.
+
+Strategies are selected per election via ``ElectionConfig.audit_spec``
+(``"eager"``, ``"batched[:chunk]"`` or ``"stream[:shard[:depth]]"``) through
+:func:`verifier_from_spec`, mirroring ``executor_spec`` / ``board_spec`` /
+``pipeline_spec``.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.runtime.executor import Executor
+from repro.runtime.pipeline import Shard, Stage, StopPipeline, StreamPipeline, iter_shards
+from repro.runtime.sharding import parallel_map
+
+#: The audit API version this module defines.  Consumers that need a newer
+#: check vocabulary can gate on it instead of failing deep inside a plan.
+AUDIT_API_VERSION = 1
+
+#: Default number of same-kind checks folded into one batched equation.
+DEFAULT_CHUNK_SIZE = 256
+
+#: Default shard geometry for the streaming strategy.
+DEFAULT_STREAM_SHARD = 64
+DEFAULT_STREAM_DEPTH = 4
+
+
+@dataclass(frozen=True)
+class Check:
+    """One proof obligation: a claim, its evidence, and where it came from.
+
+    ``kind`` selects the registered predicate (see :mod:`repro.audit.kinds`);
+    ``name`` is the human-readable failure locus (e.g.
+    ``"ballot-mix[2].round[5]"``); ``evidence`` is the kind-specific payload,
+    passed positionally to the predicate.
+    """
+
+    kind: str
+    name: str
+    evidence: Tuple[Any, ...] = ()
+
+
+class CheckStatus(enum.Enum):
+    PASSED = "passed"
+    FAILED = "failed"
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.value
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """The verdict on one check: its identity plus pass/fail."""
+
+    name: str
+    kind: str
+    status: CheckStatus
+
+    @property
+    def ok(self) -> bool:
+        return self.status is CheckStatus.PASSED
+
+
+class AuditPlan:
+    """An ordered collection of :class:`Check`s awaiting a verifier."""
+
+    def __init__(self, checks: Optional[Sequence[Check]] = None):
+        self.checks: List[Check] = list(checks or [])
+
+    def add(self, kind: str, name: str, *evidence: Any) -> Check:
+        check = Check(kind=kind, name=name, evidence=tuple(evidence))
+        self.checks.append(check)
+        return check
+
+    def extend(self, checks: Sequence[Check]) -> "AuditPlan":
+        self.checks.extend(checks)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.checks)
+
+    def __iter__(self) -> Iterator[Check]:
+        return iter(self.checks)
+
+
+@dataclass
+class AuditReport:
+    """The structured outcome of executing an :class:`AuditPlan`.
+
+    ``results`` holds one :class:`CheckResult` per executed check, in plan
+    order (the streaming strategy may truncate after the shard containing
+    the first failure — that is the point of cancellation).  Equality and
+    :meth:`fingerprint` cover the *outcomes only*: ``strategy`` and
+    ``elapsed_seconds`` are excluded so the three strategies' reports on
+    valid evidence compare bit-identical.
+    """
+
+    results: List[CheckResult]
+    strategy: str = field(default="eager", compare=False)
+    elapsed_seconds: float = field(default=0.0, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def num_checks(self) -> int:
+        return len(self.results)
+
+    @property
+    def failures(self) -> List[CheckResult]:
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def num_failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def first_failure(self) -> Optional[CheckResult]:
+        """The failure locus: the first check (in plan order) that failed."""
+        for result in self.results:
+            if not result.ok:
+                return result
+        return None
+
+    def counts_by_kind(self) -> Dict[str, Tuple[int, int]]:
+        """Per-kind ``(passed, failed)`` counts."""
+        counts: Dict[str, Tuple[int, int]] = {}
+        for result in self.results:
+            passed, failed = counts.get(result.kind, (0, 0))
+            if result.ok:
+                counts[result.kind] = (passed + 1, failed)
+            else:
+                counts[result.kind] = (passed, failed + 1)
+        return counts
+
+    def fingerprint(self) -> str:
+        """A canonical digest of the outcomes (strategy- and time-independent)."""
+        digest = hashlib.sha256()
+        for result in self.results:
+            digest.update(result.kind.encode())
+            digest.update(b"\x00")
+            digest.update(result.name.encode())
+            digest.update(b"\x00")
+            digest.update(result.status.value.encode())
+            digest.update(b"\x01")
+        return digest.hexdigest()
+
+    def summary(self) -> str:
+        """A human-readable multi-line summary (used by ``python -m repro.audit``)."""
+        lines = [
+            f"audit[{self.strategy}]: "
+            f"{'PASS' if self.ok else 'FAIL'} — {self.num_checks} checks, "
+            f"{self.num_failed} failed, {self.elapsed_seconds * 1000:.1f} ms"
+        ]
+        for kind, (passed, failed) in sorted(self.counts_by_kind().items()):
+            marker = "ok " if failed == 0 else "FAIL"
+            lines.append(f"  [{marker}] {kind}: {passed} passed, {failed} failed")
+        failure = self.first_failure
+        if failure is not None:
+            lines.append(f"  first failure: {failure.name} ({failure.kind})")
+        return "\n".join(lines)
+
+
+class Verifier(abc.ABC):
+    """A strategy for executing an :class:`AuditPlan`."""
+
+    strategy: str = "abstract"
+
+    @abc.abstractmethod
+    def _execute(self, checks: List[Check]) -> List[CheckResult]:
+        """Produce per-check results (possibly truncated, for streaming)."""
+
+    def run(self, plan: AuditPlan) -> AuditReport:
+        started = time.perf_counter()
+        results = self._execute(list(plan))
+        return AuditReport(
+            results=results,
+            strategy=self.strategy,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def verify(self, plan: AuditPlan) -> bool:
+        """Bool convenience for shim call sites."""
+        return self.run(plan).ok
+
+
+def _result_for(check: Check, verdict: bool) -> CheckResult:
+    return CheckResult(
+        name=check.name,
+        kind=check.kind,
+        status=CheckStatus.PASSED if verdict else CheckStatus.FAILED,
+    )
+
+
+class EagerVerifier(Verifier):
+    """The reference strategy: every check judged by its kind's predicate.
+
+    ``executor`` optionally fans the per-check evaluation out over a
+    :mod:`repro.runtime` backend (order-preserving, so the report is
+    identical); the default is the module-wide serial executor.
+    """
+
+    strategy = "eager"
+
+    def __init__(self, executor: Optional[Executor] = None):
+        self.executor = executor
+
+    def _execute(self, checks: List[Check]) -> List[CheckResult]:
+        from repro.audit.kinds import verdict_one
+
+        verdicts = parallel_map(verdict_one, checks, executor=self.executor)
+        return [_result_for(check, verdict) for check, verdict in zip(checks, verdicts)]
+
+
+class BatchedVerifier(Verifier):
+    """Group by kind, fold chunks into RLC batch equations, bisect failures."""
+
+    strategy = "batched"
+
+    def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE, executor: Optional[Executor] = None):
+        if chunk_size < 1:
+            raise ValueError("audit chunk size must be >= 1")
+        self.chunk_size = chunk_size
+        self.executor = executor
+
+    def _execute(self, checks: List[Check]) -> List[CheckResult]:
+        from repro.audit.kinds import evaluate_batched
+
+        return evaluate_batched(checks, chunk_size=self.chunk_size, executor=self.executor)
+
+
+class _ShardVerifyStage(Stage):
+    """Verify one shard of checks (batched or eager semantics within the shard)."""
+
+    name = "verify-checks"
+
+    def __init__(self, chunk_size: int, batch: bool):
+        self.chunk_size = chunk_size
+        self.batch = batch
+
+    def process(self, shard: Shard):
+        from repro.audit.kinds import evaluate_batched, verdict_one
+
+        if self.batch:
+            yield Shard(shard.index, evaluate_batched(shard.items, chunk_size=self.chunk_size))
+        else:
+            yield Shard(shard.index, [_result_for(check, verdict_one(check)) for check in shard.items])
+
+
+class StreamingVerifier(Verifier):
+    """Checks ride pipeline shards; the sink cancels at the first failure.
+
+    Each shard is verified with the batched fold (so the per-shard cost
+    matches :class:`BatchedVerifier` at ``chunk = shard_size``; pass
+    ``batch=False`` for the exact reference equations per check), shards
+    flow through a bounded-queue :class:`~repro.runtime.pipeline.
+    StreamPipeline`, and a failing shard stops the stream: the report
+    contains every result up to and including the failing shard, in plan
+    order.
+    """
+
+    strategy = "stream"
+
+    def __init__(
+        self,
+        shard_size: int = DEFAULT_STREAM_SHARD,
+        queue_depth: int = DEFAULT_STREAM_DEPTH,
+        batch: bool = True,
+    ):
+        if shard_size < 1:
+            raise ValueError("audit stream shard size must be >= 1")
+        self.shard_size = shard_size
+        self.queue_depth = queue_depth
+        self.batch = batch
+
+    def _execute(self, checks: List[Check]) -> List[CheckResult]:
+        if not checks:
+            return []
+        results: List[CheckResult] = []
+
+        def _consume(shard: Shard) -> None:
+            results.extend(shard.items)
+            if not all(result.ok for result in shard.items):
+                raise StopPipeline()
+
+        StreamPipeline(
+            [_ShardVerifyStage(self.shard_size, self.batch)],
+            queue_depth=self.queue_depth,
+            name="audit",
+        ).run(iter_shards(checks, self.shard_size), consume=_consume)
+        return results
+
+
+def verifier_from_spec(spec: Optional[str], executor: Optional[Executor] = None) -> Verifier:
+    """Build a verifier from a config string (mirrors ``executor_from_spec``).
+
+    Accepted forms::
+
+        "eager"                     reference one-by-one checking (the default)
+        "batched"                   RLC folding with bisection on failure
+        "batched:512"               … folding up to 512 same-kind checks per equation
+        "stream"                    batched shards + first-failure cancellation
+        "stream:32"                 … 32 checks per shard
+        "stream:32:8"               … with an 8-shard queue bound
+    """
+    def _parse_int(text: str) -> int:
+        try:
+            return int(text)
+        except ValueError:
+            raise ValueError(f"invalid audit spec {spec!r}") from None
+
+    text = (spec or "eager").strip().lower()
+    kind, _, rest = text.partition(":")
+    if kind == "eager":
+        if rest:
+            raise ValueError(f"the eager strategy takes no parameters: {spec!r}")
+        return EagerVerifier(executor=executor)
+    if kind == "batched":
+        chunk = _parse_int(rest) if rest else DEFAULT_CHUNK_SIZE
+        return BatchedVerifier(chunk_size=chunk, executor=executor)
+    if kind in ("stream", "streaming"):
+        shard_text, _, depth_text = rest.partition(":")
+        shard = _parse_int(shard_text) if shard_text else DEFAULT_STREAM_SHARD
+        depth = _parse_int(depth_text) if depth_text else DEFAULT_STREAM_DEPTH
+        return StreamingVerifier(shard_size=shard, queue_depth=depth)
+    raise ValueError(
+        f"unknown audit spec {spec!r}; expected 'eager', 'batched[:chunk]' or 'stream[:shard[:depth]]'"
+    )

@@ -59,10 +59,18 @@ def prove_dlog(
     return DlogProof(base=base, value=value, commitment=commitment, response=response)
 
 
+def dlog_challenge(proof: DlogProof, context: bytes = b"") -> int:
+    """The Fiat–Shamir challenge a proof's transcript commits to.
+
+    Public so batch verifiers can recompute challenges structurally and fold
+    the remaining group equations into one random-linear-combination check.
+    """
+    return _challenge(proof.base.group, proof.base, proof.value, proof.commitment, context)
+
+
 def verify_dlog(proof: DlogProof, context: bytes = b"") -> bool:
     """Verify a :class:`DlogProof`."""
-    group = proof.base.group
-    challenge = _challenge(group, proof.base, proof.value, proof.commitment, context)
+    challenge = dlog_challenge(proof, context)
     lhs = proof.base ** proof.response
     rhs = proof.commitment * (proof.value ** challenge)
     return lhs == rhs

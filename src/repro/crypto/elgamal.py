@@ -212,6 +212,19 @@ class ElGamal:
         """
         if len(public_shares) != len(shares):
             raise ValueError("mismatched share lists")
+        if verify and len(shares) > 1:
+            # Fold every member's two proof equations into one RLC product
+            # (Bellare–Garay–Rabin small exponents); only on rejection fall
+            # back to per-share checks to name the offending member.
+            from repro.runtime.batch import batch_decryption_share_verify
+
+            items = [(public_share, ciphertext, share) for public_share, share in zip(public_shares, shares)]
+            if not batch_decryption_share_verify(items):
+                for public_share, share in zip(public_shares, shares):
+                    if not self.verify_decryption_share(public_share, ciphertext, share):
+                        raise VerificationError("invalid decryption share")
+                raise VerificationError("decryption share batch check failed")
+            verify = False
         factor = self.group.identity
         for public_share, share in zip(public_shares, shares):
             if verify and not self.verify_decryption_share(public_share, ciphertext, share):

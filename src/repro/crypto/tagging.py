@@ -21,18 +21,23 @@ verifiable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.crypto.chaum_pedersen import (
     ChaumPedersenStatement,
     ChaumPedersenTranscript,
+    chaum_pedersen_verify,
+    fiat_shamir_challenge,
     fiat_shamir_prove,
-    fiat_shamir_verify,
 )
 from repro.crypto.dkg import DistributedKeyGeneration
 from repro.crypto.elgamal import ElGamalCiphertext
 from repro.crypto.group import Group, GroupElement
 from repro.errors import VerificationError
+
+#: Fiat–Shamir domain tags for the two tagging-proof families.
+TAG_CONTEXT = b"deterministic-tag"
+CIPHERTEXT_TAG_CONTEXT = b"deterministic-tag-ciphertext"
 
 
 @dataclass(frozen=True)
@@ -98,7 +103,7 @@ class TaggingAuthority:
                 value_g=after,
                 value_h=commitment,
             )
-            proof = fiat_shamir_prove(statement, secret, context=b"deterministic-tag")
+            proof = fiat_shamir_prove(statement, secret, context=TAG_CONTEXT)
             steps.append(TaggingStep(index, current, after, commitment, proof))
             current = after
         return BlindedTag(value=current, steps=steps)
@@ -116,6 +121,37 @@ class TaggingAuthority:
             current = current.exponentiate(secret)
         return current
 
+    def blind_ciphertext_with_proof(
+        self, ciphertext: ElGamalCiphertext
+    ) -> Tuple[ElGamalCiphertext, List["CiphertextTaggingStep"]]:
+        """Like :meth:`blind_ciphertext`, but each member's step ships proofs.
+
+        Per member, two Chaum–Pedersen transcripts show that *both* ciphertext
+        components were raised to the same exponent the member committed to
+        (``commitment = g^{z_i}``) — this is the transcript the paper's
+        "publicly verifiable filtering" claim needs for the ciphertext side of
+        the tag join, published as audit evidence by the tally when
+        ``collect_evidence`` is on.  The blinded output is bit-identical to
+        :meth:`blind_ciphertext` (same exponentiation chain; only proof nonces
+        differ and they never touch the output).
+        """
+        current = ciphertext
+        steps: List[CiphertextTaggingStep] = []
+        for index, (secret, commitment) in enumerate(zip(self.secrets, self.commitments), start=1):
+            after = current.exponentiate(secret)
+            proofs = []
+            for before_part, after_part in ((current.c1, after.c1), (current.c2, after.c2)):
+                statement = ChaumPedersenStatement(
+                    base_g=before_part,
+                    base_h=self.group.generator,
+                    value_g=after_part,
+                    value_h=commitment,
+                )
+                proofs.append(fiat_shamir_prove(statement, secret, context=CIPHERTEXT_TAG_CONTEXT))
+            steps.append(CiphertextTaggingStep(index, current, after, commitment, proofs[0], proofs[1]))
+            current = after
+        return current, steps
+
     def blind_and_decrypt(
         self,
         dkg: DistributedKeyGeneration,
@@ -127,26 +163,132 @@ class TaggingAuthority:
         return dkg.decrypt(blinded, verify=verify)
 
 
-def verify_blinded_tag(tag: BlindedTag, original: GroupElement, commitments: Optional[List[GroupElement]] = None) -> bool:
-    """Publicly verify the chain of tagging steps from ``original`` to ``tag.value``."""
-    current = original
-    for step in tag.steps:
-        if step.before != current:
-            return False
-        statement = step.proof.statement
-        consistent = (
-            statement.base_g == step.before
-            and statement.value_g == step.after
-            and statement.value_h == step.commitment
-        )
-        if commitments is not None:
-            consistent = consistent and step.commitment == commitments[step.member_index - 1]
-        if not consistent or not fiat_shamir_verify(step.proof, context=b"deterministic-tag"):
-            return False
-        current = step.after
-    if current != tag.value:
+@dataclass(frozen=True)
+class CiphertextTaggingStep:
+    """One member's ciphertext exponentiation step with its two proofs.
+
+    ``proof_c1``/``proof_c2`` are Chaum–Pedersen transcripts over the two
+    ciphertext components against the member's public commitment ``g^{z_i}``.
+    """
+
+    member_index: int
+    before: ElGamalCiphertext
+    after: ElGamalCiphertext
+    commitment: GroupElement
+    proof_c1: ChaumPedersenTranscript
+    proof_c2: ChaumPedersenTranscript
+
+
+def _step_structure_ok(
+    statement: ChaumPedersenStatement,
+    before: GroupElement,
+    after: GroupElement,
+    commitment: GroupElement,
+    member_index: int,
+    commitments: Optional[Sequence[GroupElement]],
+) -> bool:
+    """The non-cryptographic part of one tagging-step check: linkage + bases."""
+    if not (statement.base_g == before and statement.value_g == after and statement.value_h == commitment):
+        return False
+    if commitments is not None and commitment != commitments[member_index - 1]:
         return False
     return True
+
+
+def tag_chain_transcripts(
+    tag: BlindedTag,
+    original: GroupElement,
+    commitments: Optional[Sequence[GroupElement]] = None,
+) -> Optional[List[ChaumPedersenTranscript]]:
+    """Structural walk of a tagging chain, separating structure from crypto.
+
+    Returns the per-step Chaum–Pedersen transcripts (with their Fiat–Shamir
+    challenges already confirmed against the hash) iff every structural check
+    passes — step linkage, statement bases, commitment bindings, chain
+    endpoint — otherwise ``None``.  The remaining work is exactly the two
+    group equations per transcript, which the eager verifier checks
+    one-by-one and :func:`repro.runtime.batch.batch_chaum_pedersen_verify`
+    folds into one random-linear-combination product for whole batches of
+    tag chains.
+    """
+    current = original
+    transcripts: List[ChaumPedersenTranscript] = []
+    for step in tag.steps:
+        if step.before != current:
+            return None
+        if not _step_structure_ok(
+            step.proof.statement, step.before, step.after, step.commitment, step.member_index, commitments
+        ):
+            return None
+        expected = fiat_shamir_challenge(step.proof.statement, step.proof.commit, TAG_CONTEXT)
+        if step.proof.challenge != expected:
+            return None
+        transcripts.append(step.proof)
+        current = step.after
+    if current != tag.value:
+        return None
+    return transcripts
+
+
+def verify_blinded_tag(tag: BlindedTag, original: GroupElement, commitments: Optional[List[GroupElement]] = None) -> bool:
+    """Publicly verify the chain of tagging steps from ``original`` to ``tag.value``.
+
+    The reference (one-by-one) predicate behind the audit layer's
+    ``tag-chain`` check kind; batches of chains fold their transcripts into
+    the RLC batch verifier instead (see :mod:`repro.audit.kinds`).
+    """
+    transcripts = tag_chain_transcripts(tag, original, commitments)
+    if transcripts is None:
+        return False
+    return all(chaum_pedersen_verify(transcript) for transcript in transcripts)
+
+
+def ciphertext_tag_chain_transcripts(
+    steps: Sequence[CiphertextTaggingStep],
+    original: ElGamalCiphertext,
+    final: ElGamalCiphertext,
+    commitments: Optional[Sequence[GroupElement]] = None,
+) -> Optional[List[ChaumPedersenTranscript]]:
+    """Structural walk of a ciphertext tagging chain (two transcripts per step).
+
+    Same contract as :func:`tag_chain_transcripts`: transcripts with
+    confirmed challenges on structural success, ``None`` on any structural
+    failure.
+    """
+    current = original
+    transcripts: List[ChaumPedersenTranscript] = []
+    for step in steps:
+        if step.before != current:
+            return None
+        for proof, before_part, after_part in (
+            (step.proof_c1, current.c1, step.after.c1),
+            (step.proof_c2, current.c2, step.after.c2),
+        ):
+            if not _step_structure_ok(
+                proof.statement, before_part, after_part, step.commitment, step.member_index, commitments
+            ):
+                return None
+            expected = fiat_shamir_challenge(proof.statement, proof.commit, CIPHERTEXT_TAG_CONTEXT)
+            if proof.challenge != expected:
+                return None
+            transcripts.append(proof)
+        current = step.after
+    if current != final:
+        return None
+    return transcripts
+
+
+def verify_ciphertext_tag_chain(
+    steps: Sequence[CiphertextTaggingStep],
+    original: ElGamalCiphertext,
+    final: ElGamalCiphertext,
+    commitments: Optional[Sequence[GroupElement]] = None,
+) -> bool:
+    """Reference verification of a published ciphertext tagging chain."""
+    transcripts = ciphertext_tag_chain_transcripts(steps, original, final, commitments)
+    if transcripts is None:
+        return False
+    return all(chaum_pedersen_verify(transcript) for transcript in transcripts)
 
 
 def assert_valid_tag(tag: BlindedTag, original: GroupElement, commitments: Optional[List[GroupElement]] = None) -> None:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.audit.api import Verifier, verifier_from_spec
 from repro.crypto.group import Group
 from repro.crypto.modp_group import testing_group
 from repro.ledger.api import LedgerBackend, board_from_spec
@@ -40,6 +41,20 @@ class ElectionConfig:
     signature check, all mixers, tagging, the join and decryption
     concurrently; see :func:`repro.runtime.pipeline.pipeline_from_spec`).
     Both schedules publish bit-identical results; only the wall clock moves.
+
+    ``audit_spec`` selects the :mod:`repro.audit` verification strategy —
+    ``"batched[:chunk]"`` (default, matching the historical ``batch=True``
+    verification path: same-kind checks folded into RLC batch equations,
+    bisected on failure to exact per-check verdicts), ``"eager"`` (reference
+    one-by-one checking) or ``"stream[:shard[:depth]]"`` (check shards with
+    first-failure cancellation).  Every strategy produces bit-identical
+    :class:`~repro.audit.api.AuditReport` outcomes; only the wall clock (and
+    how soon a corrupted transcript stops the audit) moves.
+
+    ``audit_evidence`` makes the tally publish tagging-chain and
+    decryption-share transcripts (:class:`repro.audit.evidence.TallyEvidence`)
+    on its result, so external auditors can re-check filtering and decryption
+    — a few extra exponentiations per ciphertext per member, hence opt-in.
     """
 
     num_voters: int = 10
@@ -55,6 +70,8 @@ class ElectionConfig:
     executor_spec: str = "serial"
     board_spec: str = "memory"
     pipeline_spec: str = "serial"
+    audit_spec: str = "batched"
+    audit_evidence: bool = False
 
     def voter_ids(self) -> List[str]:
         width = max(4, len(str(self.num_voters)))
@@ -68,6 +85,9 @@ class ElectionConfig:
 
     def make_pipeline(self) -> PipelineSpec:
         return pipeline_from_spec(self.pipeline_spec)
+
+    def make_verifier(self, executor: Optional[Executor] = None) -> "Verifier":
+        return verifier_from_spec(self.audit_spec, executor=executor)
 
     def make_board_backend(self, group: Optional[Group] = None) -> LedgerBackend:
         return board_from_spec(self.board_spec, group=group)

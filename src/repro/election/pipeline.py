@@ -14,13 +14,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.audit.api import AuditReport
+from repro.audit.checks import audit_election
 from repro.election.config import ElectionConfig
 from repro.errors import ProtocolError
 from repro.peripherals.hardware import hardware_profile
 from repro.registration.protocol import RegistrationOutcome, RegistrationSession
 from repro.registration.setup import ElectionSetup
 from repro.registration.voter import Voter
-from repro.tally.pipeline import TallyPipeline, TallyResult, verify_tally
+from repro.tally.pipeline import TallyPipeline, TallyResult
 from repro.voting.client import VotingClient
 
 
@@ -75,6 +77,8 @@ class VotegralElection:
         # AttributeError when phases are driven out of order.
         self._intended: Dict[str, int] = {}
         self._verified: bool = False
+        #: The structured outcome of the post-tally audit (set by run_tally).
+        self.audit_report: Optional[AuditReport] = None
 
     def close(self) -> None:
         """Release the runtime executor's worker pool and the board backend.
@@ -175,12 +179,24 @@ class VotegralElection:
             proof_rounds=self.config.proof_rounds,
             executor=self.executor,
             pipeline=self.pipeline_spec,
+            collect_evidence=self.config.audit_evidence,
         )
         result = pipeline.run(self.setup.board, self.config.num_options, self.config.election_id)
         self.timing.tally_seconds = time.perf_counter() - start
-        self._verified = verify_tally(self.group, self.setup.authority, self.setup.board, result,
-                                      self.config.election_id, executor=self.executor,
-                                      pipeline=self.pipeline_spec) if verify else False
+        if verify:
+            # The external-auditor path: chains, registration records and the
+            # full tally re-verification, under the configured strategy.
+            self.audit_report = audit_election(
+                self.setup.board,
+                self.config,
+                authority=self.setup.authority,
+                result=result,
+                kiosk_public_keys=self.setup.registrar.kiosk_public_keys,
+                executor=self.executor,
+            )
+            self._verified = self.audit_report.ok
+        else:
+            self._verified = False
         return result
 
     # ------------------------------------------------------------------ end-to-end

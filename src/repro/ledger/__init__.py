@@ -27,6 +27,8 @@ from repro.ledger.api import (
     LedgerBackend,
     as_board_view,
     board_from_spec,
+    chain_logs,
+    verify_chained_logs,
 )
 from repro.ledger.backends import (
     AsyncIngestionFrontend,
@@ -62,6 +64,8 @@ __all__ = [
     "GENESIS_CURSOR",
     "as_board_view",
     "board_from_spec",
+    "chain_logs",
+    "verify_chained_logs",
     "MemoryBackend",
     "SQLiteBackend",
     "BatchedBoard",

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import LedgerError
 from repro.ledger.log import AppendOnlyLog
@@ -190,9 +190,14 @@ class LedgerBackend(abc.ABC):
     @abc.abstractmethod
     def ballot_log(self) -> AppendOnlyLog: ...
 
-    @abc.abstractmethod
     def verify_all_chains(self) -> bool:
-        """Verify the hash chains of all three sub-ledgers."""
+        """Verify the hash chains of all three sub-ledgers.
+
+        The default walks :func:`chain_logs`; backends override only to add
+        locking or extra chains (e.g. the write-behind batch chain), and they
+        reuse :func:`verify_chained_logs` rather than re-implementing the walk.
+        """
+        return verify_chained_logs(self)
 
     # ------------------------------------------------------------- lifecycle
 
@@ -207,6 +212,26 @@ class LedgerBackend(abc.ABC):
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def chain_logs(backend: "LedgerBackend") -> List[Tuple[str, AppendOnlyLog]]:
+    """The named hash-chained sub-ledgers every backend exposes.
+
+    The single source of truth for "which chains does a board have" — the
+    chain-walk in :func:`verify_chained_logs`, every backend's
+    ``verify_all_chains`` and the audit layer's per-chain ``Check`` builders
+    all iterate this list instead of hand-rolling their own walk.
+    """
+    return [
+        ("registration", backend.registration_log),
+        ("envelope", backend.envelope_log),
+        ("ballot", backend.ballot_log),
+    ]
+
+
+def verify_chained_logs(backend: "LedgerBackend") -> bool:
+    """Chain-walk all sub-ledgers of ``backend``; True iff every chain verifies."""
+    return all(log.verify_chain() for _, log in chain_logs(backend))
 
 
 class BoardView:
@@ -310,8 +335,21 @@ class BoardView:
     def ballot_log(self) -> AppendOnlyLog:
         return self._backend.ballot_log
 
+    def audit_chains(self) -> "object":
+        """Audit every hash chain; returns an :class:`~repro.audit.api.AuditReport`.
+
+        One ``ledger-chain`` check per sub-ledger (plus the ingest-batch
+        chain on write-behind boards), each named so a broken chain reports
+        its locus (e.g. ``ledger.ballot-chain``) instead of a bare ``False``.
+        """
+        from repro.audit.api import AuditPlan, EagerVerifier
+        from repro.audit.checks import chain_checks
+
+        return EagerVerifier().run(AuditPlan(chain_checks(self)))
+
     def verify_all_chains(self) -> bool:
-        return self._backend.verify_all_chains()
+        """Verify the hash chains of all sub-ledgers (bool shim over the audit API)."""
+        return self.audit_chains().ok
 
 
 def as_board_view(board: Union["BoardView", LedgerBackend, object]) -> BoardView:

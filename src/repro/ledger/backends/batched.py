@@ -383,6 +383,9 @@ class BatchedBoard(LedgerBackend):
             return self.inner.ballot_log
 
     def verify_all_chains(self) -> bool:
+        # Delegates the sub-ledger walk to the inner backend (which reuses the
+        # shared ``verify_chained_logs`` helper) and adds the ingestion-batch
+        # chain this decorator maintains on top.
         with self._lock:
             self.flush()
             return self.inner.verify_all_chains() and verify_batch_chain(self._batches)

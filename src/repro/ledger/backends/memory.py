@@ -20,7 +20,13 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.crypto.hashing import sha256
 from repro.errors import LedgerError
-from repro.ledger.api import BallotPage, Cursor, GENESIS_CURSOR, LedgerBackend
+from repro.ledger.api import (
+    BallotPage,
+    Cursor,
+    GENESIS_CURSOR,
+    LedgerBackend,
+    verify_chained_logs,
+)
 from repro.ledger.log import AppendOnlyLog
 from repro.ledger.records import (
     BallotRecord,
@@ -244,9 +250,6 @@ class MemoryBackend(LedgerBackend):
         return self._ballot_log
 
     def verify_all_chains(self) -> bool:
+        # The shared chain walk, under this backend's append lock.
         with self._lock:
-            return (
-                self._registration_log.verify_chain()
-                and self._envelope_log.verify_chain()
-                and self._ballot_log.verify_chain()
-            )
+            return verify_chained_logs(self)

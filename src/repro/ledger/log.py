@@ -12,7 +12,7 @@ scales we simulate).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
 from repro.crypto.hashing import sha256
 from repro.errors import LedgerError
@@ -130,8 +130,17 @@ class AppendOnlyLog:
 
     def verify_chain(self) -> bool:
         """Recompute every hash in the chain; True iff the log is internally consistent."""
+        return AppendOnlyLog.verify_entries(self._entries)
+
+    @staticmethod
+    def verify_entries(entries: Sequence[LogEntry]) -> bool:
+        """Chain-walk a snapshot of entries (what :meth:`verify_chain` checks).
+
+        Static so auditors can verify an exported entry list — e.g. an audit
+        ``Check`` carrying a ledger snapshot — without holding the live log.
+        """
         previous_hash = _GENESIS
-        for index, entry in enumerate(self._entries):
+        for index, entry in enumerate(entries):
             if entry.index != index or entry.previous_hash != previous_hash:
                 return False
             if entry.entry_hash != LogEntry.compute_hash(index, entry.payload, previous_hash):

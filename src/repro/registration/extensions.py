@@ -35,7 +35,6 @@ from repro.crypto.schnorr import (
     SigningKeyPair,
     schnorr_keygen,
     schnorr_sign,
-    schnorr_verify,
 )
 from repro.errors import ProtocolError, VerificationError
 from repro.registration.kiosk import Kiosk, KioskSession
@@ -87,9 +86,22 @@ def rotate_credential(group: Group, credential: ActivatedCredential) -> tuple:
     return new_keypair, record
 
 
+def audit_rotation(record: RotationRecord):
+    """Audit a rotation record; the report names the offending record and predicate.
+
+    The single check's locus embeds the rotating key (e.g.
+    ``rotation[1f2e3d…].signature``), so a failed registration-extension
+    audit points at the record rather than returning a bare ``False``.
+    """
+    from repro.audit.api import AuditPlan, EagerVerifier
+    from repro.audit.checks import rotation_checks
+
+    return EagerVerifier().run(AuditPlan(rotation_checks(record)))
+
+
 def verify_rotation(record: RotationRecord) -> bool:
-    """Check that the rotation was authorized by the old credential key."""
-    return schnorr_verify(record.old_public_key, record.message(), record.signature)
+    """Check that the rotation was authorized by the old key (bool shim over audit)."""
+    return audit_rotation(record).ok
 
 
 class RotationRegistry:

@@ -30,6 +30,29 @@ from repro.peripherals.scanner import CodeScanner
 from repro.registration.materials import CheckInTicket, CheckOutTicket, PaperCredential
 
 
+def check_out_ticket_message(record: RegistrationRecord) -> bytes:
+    """The bytes the kiosk signed for this record's check-out ticket."""
+    from repro.crypto.elgamal import ElGamalCiphertext
+
+    return sha256(
+        b"check-out-ticket",
+        record.voter_id.encode(),
+        ElGamalCiphertext(record.public_credential_c1, record.public_credential_c2).to_bytes(),
+    )
+
+
+def official_approval_message(record: RegistrationRecord) -> bytes:
+    """The bytes the official signed when approving this record."""
+    from repro.crypto.elgamal import ElGamalCiphertext
+
+    return sha256(
+        b"official-approval",
+        record.voter_id.encode(),
+        ElGamalCiphertext(record.public_credential_c1, record.public_credential_c2).to_bytes(),
+        record.kiosk_signature.to_bytes(),
+    )
+
+
 @dataclass
 class RegistrationOfficial:
     """A registration official with their OSD."""
@@ -123,23 +146,21 @@ class RegistrationOfficial:
     # Auditing ---------------------------------------------------------------------
 
     @staticmethod
-    def verify_record(record: RegistrationRecord, kiosk_public_keys: List[GroupElement]) -> bool:
-        """Public verification of a registration record's two signatures."""
-        from repro.crypto.elgamal import ElGamalCiphertext
+    def audit_record(record: RegistrationRecord, kiosk_public_keys: List[GroupElement]):
+        """Audit one registration record; the report names the failing predicate.
 
-        if record.kiosk_public_key not in kiosk_public_keys:
-            return False
-        ticket_message = sha256(
-            b"check-out-ticket",
-            record.voter_id.encode(),
-            ElGamalCiphertext(record.public_credential_c1, record.public_credential_c2).to_bytes(),
-        )
-        if not schnorr_verify(record.kiosk_public_key, ticket_message, record.kiosk_signature):
-            return False
-        approval_message = sha256(
-            b"official-approval",
-            record.voter_id.encode(),
-            ElGamalCiphertext(record.public_credential_c1, record.public_credential_c2).to_bytes(),
-            record.kiosk_signature.to_bytes(),
-        )
-        return schnorr_verify(record.official_public_key, approval_message, record.official_signature)
+        Three checks — kiosk authorization, kiosk signature, official
+        signature — each reported with a locus like
+        ``registration[voter-0042].kiosk-signature`` instead of collapsing
+        to an opaque ``False``.
+        """
+        from repro.audit.api import AuditPlan, EagerVerifier
+        from repro.audit.checks import registration_record_checks
+
+        plan = AuditPlan(registration_record_checks(record, kiosk_public_keys))
+        return EagerVerifier().run(plan)
+
+    @staticmethod
+    def verify_record(record: RegistrationRecord, kiosk_public_keys: List[GroupElement]) -> bool:
+        """Public verification of a registration record (bool shim over audit)."""
+        return RegistrationOfficial.audit_record(record, kiosk_public_keys).ok

@@ -35,8 +35,14 @@ from __future__ import annotations
 import secrets
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.crypto.chaum_pedersen import ChaumPedersenTranscript, fiat_shamir_challenge
-from repro.crypto.elgamal import ElGamal, ElGamalCiphertext
+from repro.crypto.chaum_pedersen import (
+    ChaumPedersenCommit,
+    ChaumPedersenStatement,
+    ChaumPedersenTranscript,
+    fiat_shamir_challenge,
+)
+from repro.crypto.dlog_proof import DlogProof, dlog_challenge
+from repro.crypto.elgamal import DecryptionShare, ElGamal, ElGamalCiphertext
 from repro.crypto.group import Group, GroupElement
 from repro.crypto.schnorr import SchnorrSignature, schnorr_challenge, schnorr_verify
 from repro.runtime.executor import Executor
@@ -117,16 +123,16 @@ def batch_schnorr_verify(items: Sequence[SignatureItem], weight_bits: int = DEFA
 
 
 def _verify_signature_chunk(items: Sequence[SignatureItem]) -> List[bool]:
-    """Per-item verdicts for a chunk: batch first, bisect only on failure."""
-    if not items:
-        return []
-    if len(items) == 1:
-        public, message, signature = items[0]
-        return [schnorr_verify(public, message, signature)]
-    if batch_schnorr_verify(items):
-        return [True] * len(items)
-    middle = len(items) // 2
-    return _verify_signature_chunk(items[:middle]) + _verify_signature_chunk(items[middle:])
+    """Per-item verdicts for a chunk: batch first, bisect only on failure.
+
+    The fold-then-bisect algorithm lives in :func:`repro.audit.kinds.
+    chunk_verdicts` (generic over every registered check kind); this wrapper
+    applies it to the ``schnorr`` kind, whose evidence tuples are exactly
+    these items.
+    """
+    from repro.audit.kinds import chunk_verdicts, get_kind
+
+    return chunk_verdicts(get_kind("schnorr"), items)
 
 
 def verify_signatures(
@@ -179,6 +185,103 @@ def batch_chaum_pedersen_verify(
         lhs.multiply(statement.base_h, w_h * response)
         lhs.multiply(statement.value_h, w_h * challenge)
         rhs.multiply(transcript.commit.commit_h, w_h)
+    return lhs.value() == rhs.value()
+
+
+def decryption_share_transcript(
+    public_share: GroupElement,
+    ciphertext: ElGamalCiphertext,
+    share: DecryptionShare,
+) -> ChaumPedersenTranscript:
+    """Express a decryption-share proof as a Chaum–Pedersen transcript.
+
+    A decryption share proves ``log_g(pk_i) == log_c1(share)`` with an
+    *addition-form* response ``r = w + e·sk``, whereas
+    :func:`batch_chaum_pedersen_verify` folds the subtraction-form equation
+    ``base^r · value^e == commit``.  Negating the challenge converts between
+    the two: ``g^r == commit_g · pk_i^e  ⇔  g^r · pk_i^{-e} == commit_g``.
+    The challenge is recomputed from the share data (there is no independent
+    challenge field to cross-check), so the transcript is sound by
+    construction and many shares fold into one RLC product.
+    """
+    group = public_share.group
+    challenge = group.hash_to_scalar(
+        b"elgamal-decryption-share",
+        public_share.to_bytes(),
+        share.share.to_bytes(),
+        share.commitment_g.to_bytes(),
+        share.commitment_c1.to_bytes(),
+        ciphertext.to_bytes(),
+    )
+    return ChaumPedersenTranscript(
+        statement=ChaumPedersenStatement(
+            base_g=group.generator,
+            base_h=ciphertext.c1,
+            value_g=public_share,
+            value_h=share.share,
+        ),
+        commit=ChaumPedersenCommit(commit_g=share.commitment_g, commit_h=share.commitment_c1),
+        challenge=(-challenge) % group.order,
+        response=share.response,
+    )
+
+
+DecryptionShareItem = Tuple[GroupElement, ElGamalCiphertext, DecryptionShare]
+
+
+def batch_decryption_share_verify(
+    items: Sequence[DecryptionShareItem],
+    weight_bits: int = DEFAULT_WEIGHT_BITS,
+) -> bool:
+    """Accept iff every ``(public_share, ciphertext, share)`` triple verifies.
+
+    Folds the two verification equations of every share into the
+    Chaum–Pedersen RLC product via :func:`decryption_share_transcript`, which
+    is what lets ``verify=True`` decryption paths check a whole quorum's
+    shares at the cost of a couple of full-width exponentiations.
+    """
+    if not items:
+        return True
+    transcripts = [
+        decryption_share_transcript(public_share, ciphertext, share)
+        for public_share, ciphertext, share in items
+    ]
+    return batch_chaum_pedersen_verify(transcripts, context=None, weight_bits=weight_bits)
+
+
+# ---------------------------------------------------------------------------
+# Dlog (Schnorr PoK) proofs
+# ---------------------------------------------------------------------------
+
+
+DlogItem = Tuple[DlogProof, bytes]
+
+
+def batch_dlog_verify(items: Sequence[DlogItem], weight_bits: int = DEFAULT_WEIGHT_BITS) -> bool:
+    """Accept iff every ``(proof, context)`` dlog proof verifies.
+
+    Single-equation fold: ``base^r == commit · value^e`` for every proof,
+    weighted and collapsed into one product comparison.  Challenges are
+    recomputed (Fiat–Shamir), so a tampered transcript fails either the
+    recomputation implicitly (different ``e``) or the folded equation.
+    """
+    if not items:
+        return True
+    if len(items) == 1:
+        proof, context = items[0]
+        from repro.crypto.dlog_proof import verify_dlog
+
+        return verify_dlog(proof, context)
+    group = items[0][0].base.group
+    weights = _random_weights(group, len(items), weight_bits)
+    lhs = ProductAccumulator(group)
+    rhs = ProductAccumulator(group)
+    order = group.order
+    for (proof, context), weight in zip(items, weights):
+        challenge = dlog_challenge(proof, context)
+        lhs.multiply(proof.base, weight * proof.response)
+        lhs.multiply(proof.value, (-weight * challenge) % order)
+        rhs.multiply(proof.commitment, weight)
     return lhs.value() == rhs.value()
 
 

@@ -199,7 +199,35 @@ def shuffle_tuples_with_proof(
     return _build_tuple_shuffle(elgamal, inputs, outputs, shadows, plans)
 
 
-def _check_mapping(
+def round_mapping_items(
+    sources: Sequence[CiphertextTuple],
+    targets: Sequence[CiphertextTuple],
+    opening: TupleOpening,
+) -> Optional[List[Tuple[ElGamalCiphertext, ElGamalCiphertext, int]]]:
+    """Structural half of one opening check: permutation + shapes.
+
+    Returns the flat ``(source, target, randomness)`` re-encryption items the
+    opening claims — ready for :func:`repro.runtime.batch.
+    batch_reencryption_verify`, which can fold items from *many* openings
+    into one product — or ``None`` when the opening is structurally invalid
+    (bad permutation, mismatched lengths).
+    """
+    if sorted(opening.permutation) != list(range(len(sources))):
+        return None
+    if len(opening.randomness) != len(sources) or len(targets) != len(sources):
+        return None
+    items: List[Tuple[ElGamalCiphertext, ElGamalCiphertext, int]] = []
+    for position, source_index in enumerate(opening.permutation):
+        source_tuple = sources[source_index]
+        target_tuple = targets[position]
+        randomness = opening.randomness[position]
+        if len(target_tuple) != len(source_tuple) or len(randomness) != len(source_tuple):
+            return None
+        items.extend(zip(source_tuple, target_tuple, randomness))
+    return items
+
+
+def check_round_mapping(
     elgamal: ElGamal,
     public_key: GroupElement,
     sources: Sequence[CiphertextTuple],
@@ -207,28 +235,49 @@ def _check_mapping(
     opening: TupleOpening,
     batch: bool = True,
 ) -> bool:
+    """Check one revealed opening maps ``sources`` onto ``targets``.
+
+    ``batch=False`` is the reference path (re-encrypt every item and
+    compare); ``batch=True`` replaces the per-item equations with one
+    random-linear-combination product over every (component, item) pair —
+    two full-width exponentiations for the whole opening instead of two per
+    ciphertext component.
+    """
+    if batch and len(sources) > 1:
+        items = round_mapping_items(sources, targets, opening)
+        if items is None:
+            return False
+        return batch_reencryption_verify(elgamal, public_key, items)
     if sorted(opening.permutation) != list(range(len(sources))):
         return False
     if len(opening.randomness) != len(sources) or len(targets) != len(sources):
         return False
-    if batch and len(sources) > 1:
-        # Random-linear-combination check over every (component, item) pair:
-        # two full-width exponentiations for the whole opening instead of two
-        # per ciphertext component.
-        items = []
-        for position, source_index in enumerate(opening.permutation):
-            source_tuple = sources[source_index]
-            target_tuple = targets[position]
-            randomness = opening.randomness[position]
-            if len(target_tuple) != len(source_tuple) or len(randomness) != len(source_tuple):
-                return False
-            items.extend(zip(source_tuple, target_tuple, randomness))
-        return batch_reencryption_verify(elgamal, public_key, items)
     for position, source_index in enumerate(opening.permutation):
-        expected = _reencrypt_tuple(elgamal, public_key, sources[source_index], opening.randomness[position])
+        source_tuple = sources[source_index]
+        if len(targets[position]) != len(source_tuple) or len(opening.randomness[position]) != len(source_tuple):
+            return False
+        expected = _reencrypt_tuple(elgamal, public_key, source_tuple, opening.randomness[position])
         if expected != targets[position]:
             return False
     return True
+
+
+def round_mapping_sides(
+    inputs: Sequence[CiphertextTuple],
+    outputs: Sequence[CiphertextTuple],
+    round_: TupleShadowRound,
+) -> Tuple[Sequence[CiphertextTuple], Sequence[CiphertextTuple]]:
+    """Which (sources, targets) pair a shadow round's opening maps between."""
+    if round_.opens_input_side:
+        return inputs, round_.shadow
+    return round_.shadow, outputs
+
+
+def shuffle_coins_ok(inputs: Sequence[CiphertextTuple], shuffle: TupleShuffle) -> bool:
+    """Re-derive the Fiat–Shamir coins and check each round opened the right side."""
+    shadows = [round_.shadow for round_ in shuffle.rounds]
+    coins = _challenge_bits(inputs, shuffle.outputs, shadows)
+    return all(round_.opens_input_side == coins[index] for index, round_ in enumerate(shuffle.rounds))
 
 
 def _verify_round(
@@ -239,9 +288,8 @@ def _verify_round(
     round_: TupleShadowRound,
     batch: bool,
 ) -> bool:
-    if round_.opens_input_side:
-        return _check_mapping(elgamal, public_key, inputs, round_.shadow, round_.opening, batch=batch)
-    return _check_mapping(elgamal, public_key, round_.shadow, outputs, round_.opening, batch=batch)
+    sources, targets = round_mapping_sides(inputs, outputs, round_)
+    return check_round_mapping(elgamal, public_key, sources, targets, round_.opening, batch=batch)
 
 
 def verify_tuple_shuffle(
@@ -253,11 +301,8 @@ def verify_tuple_shuffle(
     batch: bool = True,
 ) -> bool:
     """Verify a tuple-shuffle proof (shadow rounds checked in parallel)."""
-    shadows = [round_.shadow for round_ in shuffle.rounds]
-    coins = _challenge_bits(inputs, shuffle.outputs, shadows)
-    for index, round_ in enumerate(shuffle.rounds):
-        if round_.opens_input_side != coins[index]:
-            return False
+    if not shuffle_coins_ok(inputs, shuffle):
+        return False
     verdicts = parallel_starmap(
         _verify_round,
         [(elgamal, public_key, inputs, shuffle.outputs, round_, batch) for round_ in shuffle.rounds],
@@ -315,24 +360,27 @@ def verify_tuple_cascade(
     executor: Optional[Executor] = None,
     batch: bool = True,
 ) -> bool:
-    """Verify every stage of a cascade.
+    """Verify every stage of a cascade (bool-returning shim over the audit API).
 
     Unlike mixing, verification has no stage-to-stage data dependency — the
     claimed inputs of every stage are already in the published transcript —
-    so the per-stage checks fan out across the executor.
+    so the whole cascade becomes a flat :class:`~repro.audit.api.AuditPlan`
+    of coin and opening checks.  ``batch=True`` runs the batched strategy
+    (openings of *all* rounds of *all* stages folded into the RLC
+    re-encryption verifier); ``batch=False`` runs the eager reference
+    strategy check-by-check.  Callers that want the failure locus instead of
+    a bare bool should build the same plan via
+    :func:`repro.audit.checks.cascade_checks` and keep the report.
     """
-    stage_inputs: List[List[CiphertextTuple]] = []
-    current = list(inputs)
-    for stage in cascade.stages:
-        stage_inputs.append(current)
-        current = stage.outputs
-    verdicts = parallel_starmap(
-        _verify_stage,
-        [(elgamal, public_key, stage_inputs[i], stage, batch) for i, stage in enumerate(cascade.stages)],
-        executor=executor,
-        chunksize=1,
-    )
-    return all(verdicts)
+    from repro.audit.api import AuditPlan, BatchedVerifier, EagerVerifier
+    from repro.audit.checks import cascade_checks
+
+    plan = AuditPlan(cascade_checks(elgamal, public_key, inputs, cascade))
+    if batch:
+        verifier = BatchedVerifier(executor=executor)
+    else:
+        verifier = EagerVerifier(executor=executor)
+    return verifier.run(plan).ok
 
 
 def assert_valid_cascade(

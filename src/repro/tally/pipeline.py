@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.audit.evidence import TallyEvidence, build_tally_evidence
 from repro.crypto.dkg import DistributedKeyGeneration
 from repro.crypto.elgamal import ElGamal, ElGamalCiphertext
 from repro.crypto.group import Group
@@ -72,7 +73,6 @@ from repro.tally.mixnet import (
     make_mixer_stages,
     plan_tuple_cascade,
     streaming_tuple_mix_cascade,
-    streaming_verify_tuple_cascade,
     tuple_mix_cascade,
     verify_tuple_cascade,
 )
@@ -80,7 +80,14 @@ from repro.tally.mixnet import (
 
 @dataclass
 class TallyResult:
-    """The published outcome of a tally run."""
+    """The published outcome of a tally run.
+
+    ``evidence`` optionally carries the :class:`~repro.audit.evidence.
+    TallyEvidence` bundle (tagging-chain and decryption-share transcripts)
+    that lets an external auditor re-check the filter and decryption phases,
+    not just the mix cascades; produced when the pipeline runs with
+    ``collect_evidence=True``.
+    """
 
     counts: Dict[int, int]
     num_ballots_on_ledger: int
@@ -92,6 +99,7 @@ class TallyResult:
     filter_result: FilterResult
     votes: List[DecryptedVote]
     num_options: int
+    evidence: Optional["TallyEvidence"] = None
 
     @property
     def turnout(self) -> int:
@@ -212,6 +220,11 @@ class TallyPipeline:
     executor: Optional[Executor] = None
     tagging: Optional[TaggingAuthority] = None
     pipeline: Optional[PipelineSpec] = None
+    #: Publish tagging-chain and decryption-share transcripts on the result
+    #: (:class:`repro.audit.evidence.TallyEvidence`) so external auditors can
+    #: re-check filtering and decryption; costs a few extra exponentiations
+    #: per ciphertext per member, hence opt-in.
+    collect_evidence: bool = False
     #: Ballot-ledger shard size for the cursor-based reads below.
     read_page_size: int = 1024
 
@@ -345,8 +358,10 @@ class TallyPipeline:
         votes = decrypt_votes(self.authority, filter_result.counted, num_options, verify=False, executor=ex)
         counts = aggregate(votes, num_options)
 
+        evidence = self._evidence(tagging, mixed_registrations, mixed_pairs, filter_result)
         return self._result(
-            view, counts, ballots, registration_cascade, ballot_cascade, filter_result, votes, num_options
+            view, counts, ballots, registration_cascade, ballot_cascade, filter_result, votes,
+            num_options, evidence,
         )
 
     # ------------------------------------------------------------------ streaming run
@@ -406,8 +421,11 @@ class TallyPipeline:
 
         filter_result = join_stage.joiner.result()
         counts = aggregate(votes, num_options)
+        mixed_pairs = [(item[0], item[1]) for item in ballot_cascade.outputs]
+        evidence = self._evidence(tagging, mixed_registrations, mixed_pairs, filter_result)
         return self._result(
-            view, counts, ballots, registration_cascade, ballot_cascade, filter_result, votes, num_options
+            view, counts, ballots, registration_cascade, ballot_cascade, filter_result, votes,
+            num_options, evidence,
         )
 
     # ------------------------------------------------------------------ helpers
@@ -435,8 +453,29 @@ class TallyPipeline:
         ):
             raise TallyError("ballot mix cascade failed self-verification")
 
+    def _evidence(
+        self, tagging, mixed_registrations, mixed_pairs, filter_result
+    ) -> Optional[TallyEvidence]:
+        """The publishable audit evidence for this run (``None`` unless opted in).
+
+        Re-derives the tagging chains with per-step proofs and transcribes
+        every threshold decryption after the fact: the blinding chains are
+        deterministic, so the evidence tags are bit-identical to the ones
+        the filter joined on — the audit layer checks exactly that.
+        """
+        if not self.collect_evidence:
+            return None
+        return build_tally_evidence(
+            self.authority,
+            tagging,
+            mixed_registrations,
+            [credential for _, credential in mixed_pairs],
+            filter_result.counted,
+        )
+
     def _result(
-        self, view, counts, ballots, registration_cascade, ballot_cascade, filter_result, votes, num_options
+        self, view, counts, ballots, registration_cascade, ballot_cascade, filter_result, votes,
+        num_options, evidence=None,
     ) -> TallyResult:
         return TallyResult(
             counts=counts,
@@ -449,6 +488,7 @@ class TallyPipeline:
             filter_result=filter_result,
             votes=votes,
             num_options=num_options,
+            evidence=evidence,
         )
 
 
@@ -469,65 +509,34 @@ def verify_tally(
 ) -> bool:
     """Universal verification: re-check the published tally against the ledger.
 
-    An auditor re-derives the mix inputs from the ledger (through the same
+    A bool-returning shim over :func:`repro.audit.checks.audit_tally`: the
+    auditor re-derives the mix inputs from the ledger (through the same
     read-only :class:`~repro.ledger.api.BoardView` cursor API the tally
-    uses), verifies both mix cascades, re-checks that the number of counted
-    ballots never exceeds the number of active registrations, and that the
-    per-candidate totals sum to the number of counted ballots.  (Tag-chain
-    and decryption-share proofs are verified inside the tagging / decryption
-    primitives when ``verify=True``; the pipeline exposes them through the
-    filter result for spot checks.)
-
-    ``executor`` fans the per-stage shuffle checks out across workers and
-    ``batch`` enables random-linear-combination checking of the shadow-mix
-    openings — auditors who insist on the exact reference equations can pass
-    ``batch=False``.  A streaming ``pipeline`` verifies the cascades shard by
-    shard and cancels outstanding work at the first failed check.
+    uses), then executes the full :func:`~repro.audit.checks.
+    tally_audit_plan` — chain walks, both mix cascades, the published
+    tagging/decryption evidence when the result carries one, and the count
+    invariants.  ``batch=True`` selects the batched strategy (shuffle
+    openings, tag chains and decryption shares folded into RLC equations);
+    ``batch=False`` the eager reference strategy; a streaming ``pipeline``
+    rides check shards through the pipeline scheduler and cancels at the
+    first failed check.  Auditors who want the failure locus instead of a
+    bool call ``audit_tally`` directly and keep the
+    :class:`~repro.audit.api.AuditReport`.
     """
+    from repro.audit.api import BatchedVerifier, EagerVerifier, StreamingVerifier
+    from repro.audit.checks import audit_tally
+
     ex = resolve_executor(executor)
     spec = pipeline if pipeline is not None else PipelineSpec(streaming=False)
-
-    def _verify_cascade(inputs, cascade) -> bool:
-        if spec.streaming:
-            return streaming_verify_tuple_cascade(
-                elgamal, authority.public_key, inputs, cascade, executor=ex, pipeline=spec, batch=batch
-            )
-        return verify_tuple_cascade(
-            elgamal, authority.public_key, inputs, cascade, executor=ex, batch=batch
+    if spec.streaming:
+        verifier = StreamingVerifier(
+            shard_size=spec.shard_size, queue_depth=spec.queue_depth, batch=batch
         )
-
-    elgamal = ElGamal(group)
-    view = as_board_view(board)
-    registrations = view.active_registrations()
-    registration_inputs = [
-        (ElGamalCiphertext(record.public_credential_c1, record.public_credential_c2),)
-        for record in registrations
-    ]
-    if not _verify_cascade(registration_inputs, result.registration_cascade):
-        return False
-    if result.ballot_cascade.stages:
-        valid_records = TallyPipeline(group, authority)._valid_ballots(
-            view, election_id, executor=ex, pipeline=spec
-        )
-        if rotations is not None:
-            valid_records = [r for r in valid_records if not rotations.is_retired(r.credential_public_key)]
-
-        def _credential_key(record):
-            return record.credential_public_key if rotations is None else rotations.resolve(record.credential_public_key)
-
-        ballot_inputs = [
-            (
-                ElGamalCiphertext(record.ciphertext_c1, record.ciphertext_c2),
-                elgamal.encrypt(authority.public_key, _credential_key(record), randomness=0),
-            )
-            for record in valid_records
-        ]
-        if not _verify_cascade(ballot_inputs, result.ballot_cascade):
-            return False
-    if result.num_counted > len(registrations):
-        return False
-    if sum(result.counts.values()) != result.num_counted:
-        return False
-    if result.num_counted + result.num_discarded != len(result.ballot_cascade.outputs):
-        return False
-    return True
+    elif batch:
+        verifier = BatchedVerifier(executor=ex)
+    else:
+        verifier = EagerVerifier(executor=ex)
+    return audit_tally(
+        group, authority, board, result,
+        election_id=election_id, rotations=rotations, verifier=verifier, executor=ex,
+    ).ok

@@ -18,11 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.crypto.dlog_proof import DlogProof, prove_dlog, verify_dlog
+from repro.crypto.dlog_proof import DlogProof, prove_dlog
 from repro.crypto.elgamal import ElGamal, ElGamalCiphertext
 from repro.crypto.group import Group, GroupElement
 from repro.crypto.hashing import scalar_bytes, sha256
-from repro.crypto.schnorr import SchnorrSignature, SigningKeyPair, schnorr_sign, schnorr_verify
+from repro.crypto.schnorr import SchnorrSignature, SigningKeyPair, schnorr_sign
 from repro.errors import VerificationError
 from repro.ledger.bulletin_board import BallotRecord
 
@@ -141,14 +141,14 @@ def prove_wellformedness(
     )
 
 
-def verify_wellformedness(
+def wellformedness_ok(
     group: Group,
     public_key: GroupElement,
     ciphertext: ElGamalCiphertext,
     proof: BallotProof,
     num_options: int,
 ) -> bool:
-    """Verify the disjunctive well-formedness proof."""
+    """The reference well-formedness predicate (the audit ``wellformedness`` kind)."""
     if (
         len(proof.commitments_g) != num_options
         or len(proof.commitments_h) != num_options
@@ -168,6 +168,22 @@ def verify_wellformedness(
         if lhs_g != proof.commitments_g[option] or lhs_h != proof.commitments_h[option]:
             return False
     return True
+
+
+def verify_wellformedness(
+    group: Group,
+    public_key: GroupElement,
+    ciphertext: ElGamalCiphertext,
+    proof: BallotProof,
+    num_options: int,
+) -> bool:
+    """Verify the disjunctive well-formedness proof (bool shim over the audit API)."""
+    from repro.audit.api import Check, AuditPlan, EagerVerifier
+
+    plan = AuditPlan(
+        [Check("wellformedness", "ballot.wellformedness", (group, public_key, ciphertext, proof, num_options))]
+    )
+    return EagerVerifier().run(plan).ok
 
 
 def make_ballot(
@@ -205,20 +221,35 @@ def make_ballot(
     )
 
 
+def audit_ballot(
+    group: Group,
+    authority_public_key: GroupElement,
+    ballot: Ballot,
+    num_options: int,
+    label: str = "ballot",
+):
+    """Audit one ballot; the report names which component failed.
+
+    Four checks — Schnorr signature, credential-key binding, the dlog proof
+    of key knowledge, and disjunctive well-formedness — each an independent
+    :class:`~repro.audit.api.Check`, so batches of ballots fold their
+    signatures and key proofs into RLC equations under the batched strategy.
+    """
+    from repro.audit.api import AuditPlan, EagerVerifier
+    from repro.audit.checks import ballot_checks
+
+    plan = AuditPlan(ballot_checks(group, authority_public_key, ballot, num_options, label=label))
+    return EagerVerifier().run(plan)
+
+
 def verify_ballot(
     group: Group,
     authority_public_key: GroupElement,
     ballot: Ballot,
     num_options: int,
 ) -> bool:
-    """Publicly verify a ballot: signature, key proof and well-formedness."""
-    if not schnorr_verify(ballot.credential_public_key, ballot.signed_message(), ballot.signature):
-        return False
-    if ballot.key_proof.value != ballot.credential_public_key or not verify_dlog(
-        ballot.key_proof, context=b"ballot-credential-key"
-    ):
-        return False
-    return verify_wellformedness(group, authority_public_key, ballot.ciphertext, ballot.wellformedness, num_options)
+    """Publicly verify a ballot (bool shim over the audit API)."""
+    return audit_ballot(group, authority_public_key, ballot, num_options).ok
 
 
 def assert_valid_ballot(group: Group, authority_public_key: GroupElement, ballot: Ballot, num_options: int) -> None:
