@@ -1,0 +1,131 @@
+"""Multi-node tally/verify scaling and the remoting-overhead gate.
+
+Two workloads over the 2048-bit group (where exponentiation cost dominates
+and remote dispatch can possibly pay for itself):
+
+* **tally** — the full :class:`~repro.tally.pipeline.TallyPipeline` run,
+  serial vs ``cluster:1`` vs ``cluster:N``;
+* **verify** — the tally-verification :class:`~repro.audit.api.AuditPlan`,
+  batched-serial vs check shards distributed across the same clusters.
+
+CI runs this as a smoke test with two gates:
+
+* correctness first: every cluster tally re-verifies and every distributed
+  audit reports the same fingerprint as the serial reference;
+* the ``cluster:1`` tally — identical compute, every shard making a round
+  trip through pickle + loopback TCP to a single worker — stays within
+  ``MAX_CLUSTER1_OVERHEAD``× of serial wall clock on this small workload.
+  That bounds the price of remoting itself; ``cluster:N`` numbers are
+  reported (and exported to ``BENCH_cluster.json``) but not gated, since
+  a single shared CI core cannot demonstrate real multi-host speedup.
+
+Worker enrollment (subprocess spawn, precompute warm-up) happens before
+any timer starts — deployment cost is one-off, shard cost is forever.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.audit.api import BatchedVerifier, DistributedVerifier
+from repro.audit.checks import tally_audit_plan
+from repro.bench.harness import ResultTable, emit_bench_json, format_seconds, format_speedup
+from repro.bench.workloads import tally_workload
+from repro.crypto.modp_group import modp_group_2048
+from repro.runtime.executor import executor_from_spec
+from repro.tally.pipeline import TallyPipeline
+
+NUM_VOTERS = 4
+NUM_MEMBERS = 3
+NUM_MIXERS = 2
+PROOF_ROUNDS = 2
+# Floor of 2 (unlike the test suite's floor of 1): the multi-worker row must
+# be distinct from the gated cluster:1 row to mean anything.
+CLUSTER_WORKERS = max(2, int(os.environ.get("REPRO_CLUSTER_WORKERS", "2")))
+
+#: CI gate: cluster:1 tally wall clock may cost at most this multiple of serial.
+MAX_CLUSTER1_OVERHEAD = 1.25
+
+
+def _run_tally(group, authority, board, executor):
+    pipeline = TallyPipeline(
+        group,
+        authority,
+        num_mixers=NUM_MIXERS,
+        proof_rounds=PROOF_ROUNDS,
+        executor=executor,
+    )
+    return pipeline.run(board, 2, "default")
+
+
+def test_cluster_overhead_within_bound():
+    group = modp_group_2048()
+    authority, board = tally_workload(group, NUM_VOTERS, num_authority_members=NUM_MEMBERS)
+
+    tally_seconds, verify_seconds, fingerprints = {}, {}, {}
+    result = None
+    for label in ("serial", "cluster:1", f"cluster:{CLUSTER_WORKERS}"):
+        executor = executor_from_spec(label) if label != "serial" else None
+        try:
+            if executor is not None:
+                # Enrollment + warm-up stay outside the timed region; workers
+                # precompute the hot fixed bases exactly like the parent.
+                executor.set_warm(groups=[modp_group_2048], bases=[authority.public_key])
+                executor.warm()
+            started = time.perf_counter()
+            outcome = _run_tally(group, authority, board, executor)
+            tally_seconds[label] = time.perf_counter() - started
+
+            plan = tally_audit_plan(group, authority, board, outcome, executor=executor)
+            verifier = (
+                BatchedVerifier()
+                if executor is None
+                else DistributedVerifier(shard_size=16, executor=executor)
+            )
+            started = time.perf_counter()
+            report = verifier.run(plan)
+            verify_seconds[label] = time.perf_counter() - started
+        finally:
+            if executor is not None:
+                executor.close()
+        assert report.ok, f"{label}: {report.summary()}"
+        fingerprints[label] = report.fingerprint()
+        if label == "serial":
+            result = outcome
+        else:
+            assert outcome.counts == result.counts, f"{label} counts diverged"
+
+    table = ResultTable(
+        title=f"Multi-node tally, {NUM_VOTERS} voters, 2048-bit group",
+        columns=["backend", "tally", "vs serial", "verify", "vs serial"],
+    )
+    for label in tally_seconds:
+        table.add_row(
+            label,
+            format_seconds(tally_seconds[label]),
+            format_speedup(tally_seconds["serial"], tally_seconds[label]),
+            format_seconds(verify_seconds[label]),
+            format_speedup(verify_seconds["serial"], verify_seconds[label]),
+        )
+    table.print()
+
+    # Correctness before speed: one fingerprint across every placement.
+    assert len(set(fingerprints.values())) == 1, fingerprints
+
+    overhead = tally_seconds["cluster:1"] / tally_seconds["serial"]
+    emit_bench_json(
+        "cluster",
+        {
+            "num_voters": NUM_VOTERS,
+            "cluster_workers": CLUSTER_WORKERS,
+            "tally_seconds": tally_seconds,
+            "verify_seconds": verify_seconds,
+            "cluster1_overhead": overhead,
+            "max_cluster1_overhead": MAX_CLUSTER1_OVERHEAD,
+        },
+    )
+    assert overhead <= MAX_CLUSTER1_OVERHEAD, (
+        f"cluster:1 tally costs {overhead:.2f}× serial "
+        f"(gate: ≤ {MAX_CLUSTER1_OVERHEAD}×) — remoting overhead regressed"
+    )

@@ -7,7 +7,10 @@ into an :class:`AuditPlan` and executed by a pluggable :class:`Verifier`:
 * ``batched`` — same-kind checks folded into random-linear-combination
   batch equations (:mod:`repro.runtime.batch`), bisected on rejection;
 * ``stream`` — check shards riding :mod:`repro.runtime.pipeline` with
-  first-failure cancellation.
+  first-failure cancellation;
+* ``dist`` — contiguous check shards shipped one task each over the
+  executor surface (remote workers, under a :mod:`repro.cluster`
+  executor) and merged back into one report.
 
 Every strategy returns a structured :class:`AuditReport` (per-check
 outcomes, failure locus, counts, timings) whose outcomes are bit-identical
@@ -25,6 +28,7 @@ from repro.audit.api import (
     Check,
     CheckResult,
     CheckStatus,
+    DistributedVerifier,
     EagerVerifier,
     StreamingVerifier,
     Verifier,
@@ -62,6 +66,7 @@ __all__ = [
     "CheckResult",
     "CheckStatus",
     "DecryptionTranscript",
+    "DistributedVerifier",
     "EagerVerifier",
     "StreamingVerifier",
     "TagChainEvidence",

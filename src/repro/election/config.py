@@ -24,8 +24,14 @@ class ElectionConfig:
 
     ``executor_spec`` selects the :mod:`repro.runtime` backend the tally's
     parallel stages run on — ``"serial"`` (default), ``"thread[:N]"`` or
-    ``"process[:N]"`` with ``N`` workers (defaulting to the CPUs available).
-    Every backend produces bit-identical results; only the wall clock moves.
+    ``"process[:N]"`` with ``N`` workers (defaulting to the CPUs available);
+    the multi-node forms ``"cluster:N"`` (auto-spawn ``N`` loopback worker
+    subprocesses — tests, CI, benchmarks) and
+    ``"remote:host:port[,host:port…]"`` (listen for
+    ``python -m repro.cluster.worker`` daemons, authenticated by the
+    ``REPRO_CLUSTER_SECRET`` signed hello) dispatch the same shards to
+    :mod:`repro.cluster` workers on other processes or machines.  Every
+    backend produces bit-identical results; only the wall clock moves.
 
     ``board_spec`` selects the :mod:`repro.ledger` backend the bulletin board
     stores its three sub-ledgers on — ``"memory"`` (default, thread-safe
@@ -46,8 +52,11 @@ class ElectionConfig:
     ``"batched[:chunk]"`` (default, matching the historical ``batch=True``
     verification path: same-kind checks folded into RLC batch equations,
     bisected on failure to exact per-check verdicts), ``"eager"`` (reference
-    one-by-one checking) or ``"stream[:shard[:depth]]"`` (check shards with
-    first-failure cancellation).  Every strategy produces bit-identical
+    one-by-one checking), ``"stream[:shard[:depth]]"`` (check shards with
+    first-failure cancellation) or ``"dist[:shard]"`` (contiguous check
+    shards shipped one task each over the configured executor — with a
+    cluster ``executor_spec`` the shards verify on remote workers and merge
+    into one report).  Every strategy produces bit-identical
     :class:`~repro.audit.api.AuditReport` outcomes; only the wall clock (and
     how soon a corrupted transcript stops the audit) moves.
 
@@ -81,7 +90,15 @@ class ElectionConfig:
         return self.group_factory()
 
     def make_executor(self) -> Executor:
-        return executor_from_spec(self.executor_spec)
+        executor = executor_from_spec(self.executor_spec)
+        # Remote executors advertise warm work in their WELCOME frames; give
+        # them this election's group so enrolling workers precompute the
+        # generator table before their first shard (unpicklable factories —
+        # e.g. a lambda — are dropped by set_warm, never fatal).
+        set_warm = getattr(executor, "set_warm", None)
+        if callable(set_warm):
+            set_warm(groups=[self.group_factory])
+        return executor
 
     def make_pipeline(self) -> PipelineSpec:
         return pipeline_from_spec(self.pipeline_spec)

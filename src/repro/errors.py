@@ -27,3 +27,8 @@ class TallyError(ProtocolError):
 
 class CoercionDetected(ReproError):
     """Raised by audit helpers when evidence of coercion/misbehaviour is found."""
+
+
+class ClusterError(ReproError):
+    """A multi-node cluster operation failed (enrollment, transport, or the
+    coordinator ran out of live workers for outstanding shards)."""

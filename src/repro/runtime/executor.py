@@ -271,17 +271,32 @@ def resolve_executor(executor: Optional[Executor]) -> Executor:
     return executor if executor is not None else _default_executor
 
 
+#: Spec prefixes served by :mod:`repro.cluster` (imported lazily so the
+#: runtime layer never pays for — or cyclically depends on — the cluster
+#: package unless a remote spec is actually requested).
+_REMOTE_BACKENDS = ("remote", "cluster")
+
+
 def executor_from_spec(spec: str) -> Executor:
     """Build an executor from a config string.
 
     Accepted forms: ``"serial"``, ``"thread"``, ``"thread:8"``, ``"process"``,
-    ``"process:4"``.  The worker count defaults to the CPUs available to the
-    process.
+    ``"process:4"`` (worker counts default to the CPUs available to the
+    process), plus the multi-node forms ``"cluster:N"`` (auto-spawn ``N``
+    loopback worker subprocesses — tests, CI, benchmarks) and
+    ``"remote:host:port[,host:port…]"`` (listen for
+    ``python -m repro.cluster.worker`` daemons to enroll); see
+    :func:`repro.cluster.executor.remote_executor_from_spec`.
     """
     text = (spec or "serial").strip().lower()
     backend, _, count_text = text.partition(":")
+    if backend in _REMOTE_BACKENDS:
+        from repro.cluster.executor import remote_executor_from_spec
+
+        return remote_executor_from_spec(text)
     if backend not in _BACKENDS:
-        raise ValueError(f"unknown executor backend {backend!r}; expected one of {sorted(_BACKENDS)}")
+        expected = sorted(_BACKENDS) + sorted(_REMOTE_BACKENDS)
+        raise ValueError(f"unknown executor backend {backend!r}; expected one of {expected}")
     if backend == "serial":
         if count_text:
             raise ValueError("the serial backend does not take a worker count")

@@ -16,7 +16,11 @@ Design points:
   stage a chunk big enough to fan out over its :class:`~repro.runtime.
   executor.Executor`; the pipeline composes with the executor layer rather
   than replacing it (stage threads overlap, executors parallelize within a
-  stage's shard).
+  stage's shard).  That composition includes the multi-node backend: a
+  :class:`~repro.cluster.executor.RemoteExecutor` handed to stages is
+  safe to share — its coordinator multiplexes concurrent task groups from
+  several stage threads — so a streaming cascade's mixers can each fan
+  their shard across the same worker fleet.
 * **Backpressure.**  Every inter-stage queue is bounded by ``queue_depth``
   shards; a fast producer blocks instead of buffering the whole stream, so
   memory stays proportional to ``num_stages × queue_depth × shard_size``.
