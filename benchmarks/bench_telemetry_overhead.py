@@ -1,0 +1,191 @@
+"""The telemetry overhead gate: observability must be ~free when off.
+
+Three configurations of the same serial tally over the 2048-bit group:
+
+* **baseline** — the :mod:`repro.telemetry` entry points monkeypatched to
+  pure no-ops.  Instrumented modules call ``telemetry.span(...)`` through a
+  module attribute lookup precisely so this bench can measure what the code
+  would cost with the instrumentation physically absent;
+* **disabled** — telemetry as shipped with the default ``"off"`` spec (the
+  fast path every production-shaped run takes): every entry point takes the
+  early ``None`` return;
+* **enabled** — a ``jsonl:`` sink recording every span and counter.
+
+CI gates the ratios (min-of-``REPEATS`` wall clock, interleaved rounds so
+machine drift hits all three configurations equally):
+
+* disabled / baseline <= ``MAX_DISABLED_OVERHEAD`` (1.02x) — the no-op fast
+  path must be indistinguishable from not having telemetry at all;
+* enabled / baseline <= ``MAX_ENABLED_OVERHEAD`` (1.10x) — recording must
+  never dominate the work it measures.
+
+A small absolute slack (``ABS_SLACK_SECONDS``) absorbs scheduler jitter at
+this deliberately small workload size: the gate is ``ratio`` or the slack,
+whichever is larger.  Results land in ``BENCH_telemetry.json``; the enabled
+run's trace and its rendered summary are exported next to it so CI uploads
+a real trace artifact from every bench-smoke run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from pathlib import Path
+
+from repro import telemetry
+from repro.bench.harness import ResultTable, emit_bench_json, format_seconds
+from repro.bench.workloads import tally_workload
+from repro.crypto.modp_group import modp_group_2048
+from repro.tally.pipeline import TallyPipeline
+from repro.telemetry import TelemetrySnapshot
+
+NUM_VOTERS = 4
+NUM_MEMBERS = 3
+NUM_MIXERS = 2
+PROOF_ROUNDS = 2
+REPEATS = 5
+
+#: CI gates (see the module docstring).
+MAX_DISABLED_OVERHEAD = 1.02
+MAX_ENABLED_OVERHEAD = 1.10
+ABS_SLACK_SECONDS = 0.010
+
+#: The telemetry entry points the instrumented layers call; the baseline
+#: replaces exactly these with no-ops.
+_PATCHED = ("span", "counter", "gauge", "histogram", "enabled")
+
+
+class _NoopSpan:
+    """The cheapest possible stand-in for a :class:`SpanHandle`."""
+
+    elapsed_seconds = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+def _noop_span(name, **attrs):  # noqa: ANN001, ANN003 - signature mirror
+    return _NOOP_SPAN
+
+
+def _noop(*args, **kwargs):  # noqa: ANN002, ANN003
+    return None
+
+
+def _noop_enabled() -> bool:
+    return False
+
+
+@contextlib.contextmanager
+def _telemetry_absent():
+    """Temporarily replace the telemetry entry points with no-ops."""
+    saved = {name: getattr(telemetry, name) for name in _PATCHED}
+    telemetry.span = _noop_span  # type: ignore[assignment]
+    telemetry.counter = _noop  # type: ignore[assignment]
+    telemetry.gauge = _noop  # type: ignore[assignment]
+    telemetry.histogram = _noop  # type: ignore[assignment]
+    telemetry.enabled = _noop_enabled  # type: ignore[assignment]
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            setattr(telemetry, name, value)
+
+
+def _run_tally(group, authority, board) -> float:
+    started = time.perf_counter()
+    pipeline = TallyPipeline(
+        group, authority, num_mixers=NUM_MIXERS, proof_rounds=PROOF_ROUNDS,
+    )
+    pipeline.run(board, 2, "default")
+    return time.perf_counter() - started
+
+
+def test_telemetry_overhead_within_bounds(tmp_path):
+    group = modp_group_2048()
+    authority, board = tally_workload(group, NUM_VOTERS, num_authority_members=NUM_MEMBERS)
+    trace_path = tmp_path / "trace.jsonl"
+
+    timings = {"baseline": [], "disabled": [], "enabled": []}
+    try:
+        # One untimed warm round so table/cache effects are paid up front.
+        with _telemetry_absent():
+            _run_tally(group, authority, board)
+        for _ in range(REPEATS):
+            with _telemetry_absent():
+                timings["baseline"].append(_run_tally(group, authority, board))
+            telemetry.configure("off")
+            timings["disabled"].append(_run_tally(group, authority, board))
+            telemetry.configure(f"jsonl:{trace_path}", propagate=False)
+            timings["enabled"].append(_run_tally(group, authority, board))
+            telemetry.configure("off")
+    finally:
+        telemetry.configure("off")
+        os.environ.pop("REPRO_TELEMETRY", None)
+
+    best = {label: min(values) for label, values in timings.items()}
+    disabled_ratio = best["disabled"] / best["baseline"]
+    enabled_ratio = best["enabled"] / best["baseline"]
+
+    table = ResultTable(
+        "Telemetry overhead (serial tally, 2048-bit group, "
+        f"{NUM_VOTERS} voters, min of {REPEATS})",
+        ["configuration", "wall clock", "vs baseline"],
+    )
+    for label in ("baseline", "disabled", "enabled"):
+        table.add_row(label, format_seconds(best[label]), f"{best[label] / best['baseline']:.3f}x")
+    table.print()
+
+    snapshot = TelemetrySnapshot.from_jsonl(str(trace_path))
+    assert "tally.mix" in snapshot.span_names(), "enabled run recorded no spans"
+
+    emit_bench_json(
+        "telemetry",
+        {
+            "workload": {
+                "num_voters": NUM_VOTERS,
+                "num_mixers": NUM_MIXERS,
+                "proof_rounds": PROOF_ROUNDS,
+                "group": "modp-2048",
+                "repeats": REPEATS,
+            },
+            "seconds": {label: best[label] for label in best},
+            "all_seconds": timings,
+            "disabled_ratio": disabled_ratio,
+            "enabled_ratio": enabled_ratio,
+            "gates": {
+                "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+                "max_enabled_overhead": MAX_ENABLED_OVERHEAD,
+                "abs_slack_seconds": ABS_SLACK_SECONDS,
+            },
+        },
+    )
+
+    # Export the enabled run's trace and rendered summary next to the JSON
+    # results so the CI artifact contains a real, summarizable trace.
+    bench_dir = os.environ.get("REPRO_BENCH_JSON_DIR")
+    if bench_dir:
+        target = Path(bench_dir)
+        target.mkdir(parents=True, exist_ok=True)
+        (target / "trace.jsonl").write_bytes(trace_path.read_bytes())
+        (target / "trace_summary.txt").write_text(snapshot.summary(top=10) + "\n")
+
+    disabled_bound = max(best["baseline"] * MAX_DISABLED_OVERHEAD,
+                         best["baseline"] + ABS_SLACK_SECONDS)
+    enabled_bound = max(best["baseline"] * MAX_ENABLED_OVERHEAD,
+                        best["baseline"] + ABS_SLACK_SECONDS)
+    assert best["disabled"] <= disabled_bound, (
+        f"disabled telemetry costs {disabled_ratio:.3f}x baseline "
+        f"(gate {MAX_DISABLED_OVERHEAD}x): the no-op fast path regressed"
+    )
+    assert best["enabled"] <= enabled_bound, (
+        f"enabled telemetry costs {enabled_ratio:.3f}x baseline "
+        f"(gate {MAX_ENABLED_OVERHEAD}x): recording overhead regressed"
+    )

@@ -27,6 +27,8 @@ The package provides:
 * ``repro.security``      — the formal games (individual verifiability,
   coercion resistance) and analytic bounds.
 * ``repro.usability``     — the §7.5 user-study model.
+* ``repro.telemetry``     — dependency-free tracing and metrics for every
+  layer above (spans, counters, merged fleet snapshots, a trace summarizer).
 """
 
 from repro.errors import (
@@ -36,6 +38,8 @@ from repro.errors import (
     ProtocolError,
     RegistrationError,
 )
+from repro import telemetry
+from repro.telemetry import TelemetrySnapshot, telemetry_from_spec
 
 __version__ = "1.0.0"
 
@@ -45,5 +49,8 @@ __all__ = [
     "LedgerError",
     "ProtocolError",
     "RegistrationError",
+    "TelemetrySnapshot",
+    "telemetry",
+    "telemetry_from_spec",
     "__version__",
 ]

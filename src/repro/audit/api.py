@@ -44,10 +44,10 @@ from __future__ import annotations
 import abc
 import enum
 import hashlib
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.runtime.executor import Executor
 from repro.runtime.pipeline import Shard, Stage, StopPipeline, StreamPipeline, iter_shards
 from repro.runtime.sharding import parallel_map
@@ -215,12 +215,23 @@ class Verifier(abc.ABC):
         """Produce per-check results (possibly truncated, for streaming)."""
 
     def run(self, plan: AuditPlan) -> AuditReport:
-        started = time.perf_counter()
-        results = self._execute(list(plan))
+        # The report's wall-clock comes straight off the telemetry span, so
+        # a trace and its AuditReport can never disagree about elapsed time.
+        # (The span handle measures even with telemetry off.)
+        checks = list(plan)
+        with telemetry.span("audit.run", strategy=self.strategy, checks=len(checks)) as span:
+            results = self._execute(checks)
+        if telemetry.enabled():
+            tallies: Dict[Tuple[str, str], int] = {}
+            for result in results:
+                key = (result.kind, result.status.value)
+                tallies[key] = tallies.get(key, 0) + 1
+            for (kind, status), count in tallies.items():
+                telemetry.counter("audit.checks", count, kind=kind, strategy=self.strategy, status=status)
         return AuditReport(
             results=results,
             strategy=self.strategy,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=span.elapsed_seconds,
         )
 
     def verify(self, plan: AuditPlan) -> bool:

@@ -38,6 +38,7 @@ cursor-keyed shards.
 from __future__ import annotations
 
 import itertools
+import logging
 import os
 import secrets
 import socket
@@ -46,6 +47,7 @@ import time
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.cluster.protocol import (
     PICKLE_CODEC,
     PROTOCOL_VERSION,
@@ -60,6 +62,15 @@ from repro.cluster.protocol import (
     welcome_mac,
 )
 from repro.errors import ClusterError
+
+#: Module logger policy: per-task scheduling chatter (dispatch, result
+#: delivery) stays at DEBUG; worker lifecycle that an operator must see —
+#: reassignment, worker loss, rejected enrollments — logs at WARNING with
+#: the worker identity and affected task keys.  Handshake fields adjacent to
+#: the enrollment secret (nonce, MAC, the secret itself) are NEVER logged at
+#: any level: a DEBUG log shipped off-box must not become an offline oracle
+#: against the enrollment MAC.
+logger = logging.getLogger(__name__)
 
 #: How long the enrollment handshake may take before the connection is dropped.
 HANDSHAKE_TIMEOUT_SECONDS = 30.0
@@ -176,6 +187,18 @@ class ClusterCoordinator:
         #: fixed bases to precompute before the worker accepts TASK frames).
         self._warm_groups: List[Any] = []
         self._warm_bases: List[Any] = []
+
+        # Pre-register the fleet counters at zero so a merged snapshot shows
+        # "reassign 0" for a healthy run instead of omitting the series.
+        if telemetry.enabled():
+            for metric in (
+                "cluster.enroll",
+                "cluster.dispatch",
+                "cluster.reassign",
+                "cluster.worker.lost",
+                "cluster.heartbeat.miss",
+            ):
+                telemetry.counter(metric, 0)
 
         self._listeners: List[socket.socket] = []
         self._threads: List[threading.Thread] = []
@@ -323,6 +346,11 @@ class ClusterCoordinator:
             welcome = {
                 "worker_id": worker_id,
                 "heartbeat_interval": self._heartbeat_interval,
+                # Primitives-only flag (the worker decodes WELCOME with the
+                # restricted codec): when the coordinator is collecting
+                # telemetry, workers buffer spans in memory and piggyback
+                # them on RESULT frames for one merged fleet snapshot.
+                "telemetry": telemetry.enabled(),
             }
             if self._secret is not None:
                 worker_nonce = payload.get("nonce")
@@ -352,6 +380,11 @@ class ClusterCoordinator:
                 pass
             return
 
+        # Identity and address only — never the nonce, MAC, or secret the
+        # handshake frames carried (see the module logger policy above).
+        logger.info("worker %s enrolled from %s:%s (%d slot(s))",
+                    worker_id, address[0], address[1], slots)
+        telemetry.counter("cluster.enroll", worker=worker_id)
         worker = _Worker(worker_id, conn, address, slots)
         with self._cond:
             self._enrolling_ids.discard(worker_id)
@@ -370,6 +403,9 @@ class ClusterCoordinator:
         self._pump()
 
     def _reject(self, conn: socket.socket, reason: str) -> None:
+        # The reason strings name the failed check, not its inputs — no
+        # nonce, MAC, or secret material ever reaches the log stream.
+        logger.warning("rejecting enrollment: %s", reason)
         try:
             send_frame(conn, Frame(FrameKind.ERROR, (None, reason)), self._codec)
         except (ClusterError, OSError):
@@ -389,7 +425,13 @@ class ClusterCoordinator:
                 worker.last_seen = time.monotonic()
                 if frame.kind is FrameKind.RESULT:
                     worker.last_result_at = worker.last_seen
-                    key, value = frame.payload
+                    # Telemetry-enabled workers piggyback their drained span
+                    # and metric events as an optional third payload element.
+                    payload = frame.payload
+                    key, value = payload[0], payload[1]
+                    if len(payload) > 2 and payload[2]:
+                        telemetry.ingest(payload[2], worker=worker.worker_id)
+                    logger.debug("result for task %s from worker %s", key, worker.worker_id)
                     self._complete(key, value)
                 elif frame.kind is FrameKind.ERROR:
                     worker.last_result_at = worker.last_seen
@@ -472,6 +514,7 @@ class ClusterCoordinator:
     def _retire(self, worker: _Worker, reason: str) -> None:
         """Drop a dead worker and requeue its in-flight tasks (at-least-once)."""
         poisoned: List[_Task] = []
+        requeued: List[int] = []
         with self._cond:
             if not worker.alive:
                 return
@@ -491,6 +534,7 @@ class ClusterCoordinator:
                     poisoned.append(task)
                 else:
                     self._pending.appendleft(task)
+                    requeued.append(task.key)
             if not self._workers and self._tasks:
                 lost = ClusterError(
                     f"all cluster workers lost ({reason}); "
@@ -504,6 +548,21 @@ class ClusterCoordinator:
                 self._tasks.clear()
                 self._pending.clear()
             self._cond.notify_all()
+        # Orderly teardown retires every worker; that is routine (DEBUG).
+        # Losing a worker mid-run is an operator-visible event (WARNING),
+        # logged with the identity and exactly which task keys moved.
+        if reason == "coordinator shutdown":
+            logger.debug("worker %s retired (%s)", worker.worker_id, reason)
+        else:
+            logger.warning(
+                "worker %s lost (%s); requeued task key(s) %s",
+                worker.worker_id, reason, sorted(requeued) or "none",
+            )
+            telemetry.counter("cluster.worker.lost", worker=worker.worker_id, reason=reason)
+            if reason == "heartbeat timeout":
+                telemetry.counter("cluster.heartbeat.miss", worker=worker.worker_id)
+            if requeued:
+                telemetry.counter("cluster.reassign", len(requeued), worker=worker.worker_id)
         for task in poisoned:
             self._cancel_group(
                 task.group,
@@ -560,6 +619,9 @@ class ClusterCoordinator:
                 except (ClusterError, OSError):
                     if worker not in dead:
                         dead.append(worker)
+                else:
+                    logger.debug("dispatched task %s to worker %s", task.key, worker.worker_id)
+                    telemetry.counter("cluster.dispatch", worker=worker.worker_id)
             for worker in dead:
                 self._retire(worker, "send failed")
             if not dead:

@@ -39,6 +39,7 @@ from repro.cluster.coordinator import (
     ClusterCoordinator,
 )
 from repro.cluster.protocol import decode_secret, format_address, parse_address
+from repro import telemetry
 from repro.errors import ClusterError
 from repro.runtime.executor import (
     Executor,
@@ -68,6 +69,11 @@ def spawn_local_worker(
     """
     env = dict(os.environ)
     env["REPRO_CLUSTER_SECRET"] = secret.hex()
+    # Workers must not inherit the parent's telemetry spec: a jsonl spec
+    # would have every worker write the coordinator's trace file directly
+    # (double-counting what the RESULT piggyback already merges).  The
+    # coordinator's WELCOME flag turns worker-side buffering on instead.
+    env.pop("REPRO_TELEMETRY", None)
     command = [
         sys.executable, "-m", "repro.cluster.worker",
         "--connect", format_address(address),
@@ -149,7 +155,10 @@ class RemoteExecutor(Executor):
         self._ensure_workers()
         if not self._enrollment_complete:
             floor = max(self.min_workers, self._spawn_workers, 1)
-            self.coordinator.wait_for_workers(floor, timeout=self.enroll_timeout)
+            # The enrollment barrier is the remote analogue of pool spin-up;
+            # the span makes cold-start cost visible next to executor.warm.
+            with telemetry.span("cluster.warm", backend=self.name, workers=floor):
+                self.coordinator.wait_for_workers(floor, timeout=self.enroll_timeout)
             self._enrollment_complete = True
             return
         if self.coordinator.num_workers > 0:
@@ -210,7 +219,10 @@ class RemoteExecutor(Executor):
         else:
             num_chunks = max(1, self.num_workers) * CHUNKS_PER_SLOT
         chunks = chunk_evenly(work, num_chunks)
-        shard_results = self.coordinator.run_tasks([(mode, fn, chunk) for chunk in chunks])
+        with telemetry.span(
+            "executor.map", backend=self.name, op=mode, items=len(work), chunks=len(chunks)
+        ):
+            shard_results = self.coordinator.run_tasks([(mode, fn, chunk) for chunk in chunks])
         results: List[Any] = []
         for shard in shard_results:
             results.extend(shard)

@@ -39,6 +39,7 @@ from typing import Any, List, Optional, Tuple
 
 # Importing the precompute module honours REPRO_PRECOMPUTE_CACHE at import
 # time — the satellite portability contract for freshly spawned workers.
+from repro import telemetry
 from repro.runtime import precompute
 from repro.runtime.executor import Executor, executor_from_spec
 from repro.cluster.protocol import (
@@ -81,6 +82,7 @@ class WorkerDaemon:
         self._sock: Optional[socket.socket] = None
         self._send_lock = threading.Lock()
         self._stop = threading.Event()
+        self._telemetry = False
         self.tasks_served = 0
 
     # ------------------------------------------------------------------ plumbing
@@ -152,6 +154,13 @@ class WorkerDaemon:
                     "coordinator failed mutual authentication (bad WELCOME tag)"
                 )
         self.worker_id = assigned_id
+        # A telemetry-collecting coordinator asks workers to buffer spans in
+        # memory and piggyback them on RESULT frames (one merged fleet
+        # snapshot); propagate=False keeps the buffering local — a worker's
+        # own subprocesses must not inherit the mem spec through the env.
+        self._telemetry = bool(welcome.get("telemetry"))
+        if self._telemetry:
+            telemetry.configure("mem", propagate=False)
 
         # Only now — with the coordinator authenticated — accept the
         # arbitrary-picklable warm payload, and warm before any TASK:
@@ -193,7 +202,8 @@ class WorkerDaemon:
             if frame.kind is FrameKind.TASK:
                 key, mode, fn, data = frame.payload
                 try:
-                    value = self._execute(mode, fn, data)
+                    with telemetry.span("cluster.task", worker=self.worker_id, mode=mode, key=key):
+                        value = self._execute(mode, fn, data)
                 except BaseException as exc:  # noqa: BLE001 - shipped to coordinator
                     # Prove the exception survives a *round trip* before
                     # shipping it: an exception that encodes but fails to
@@ -207,7 +217,13 @@ class WorkerDaemon:
                         payload = (key, ClusterError(repr(exc)))
                     self._send(Frame(FrameKind.ERROR, payload))
                 else:
-                    self._send(Frame(FrameKind.RESULT, (key, value)))
+                    if self._telemetry:
+                        # Piggyback the spans and metric deltas this task
+                        # produced as an optional third payload element; the
+                        # coordinator ingests them under this worker's label.
+                        self._send(Frame(FrameKind.RESULT, (key, value, telemetry.drain())))
+                    else:
+                        self._send(Frame(FrameKind.RESULT, (key, value)))
                     self.tasks_served += 1
             elif frame.kind is FrameKind.HEARTBEAT:
                 continue

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro import telemetry
 from repro.audit.api import Verifier, verifier_from_spec
 from repro.crypto.group import Group
 from repro.crypto.modp_group import testing_group
@@ -64,6 +65,16 @@ class ElectionConfig:
     decryption-share transcripts (:class:`repro.audit.evidence.TallyEvidence`)
     on its result, so external auditors can re-check filtering and decryption
     — a few extra exponentiations per ciphertext per member, hence opt-in.
+
+    ``telemetry_spec`` selects the :mod:`repro.telemetry` observability sink
+    — ``"off"`` (default: every span and counter is a no-op), ``"mem"``
+    (buffer events in process memory; read them back through
+    :func:`repro.telemetry.snapshot`) or ``"jsonl:<path>"`` (append one JSON
+    event per line, summarizable with ``python -m repro.telemetry summarize``).
+    Cluster executors propagate collection to their workers automatically
+    (worker spans ride back on RESULT frames), and process pools re-attach
+    through the ``REPRO_TELEMETRY`` environment variable.  Telemetry never
+    changes results; it only records where the wall clock went.
     """
 
     num_voters: int = 10
@@ -81,6 +92,7 @@ class ElectionConfig:
     pipeline_spec: str = "serial"
     audit_spec: str = "batched"
     audit_evidence: bool = False
+    telemetry_spec: str = "off"
 
     def voter_ids(self) -> List[str]:
         width = max(4, len(str(self.num_voters)))
@@ -88,6 +100,16 @@ class ElectionConfig:
 
     def make_group(self) -> Group:
         return self.group_factory()
+
+    def make_telemetry(self) -> None:
+        """Attach the configured telemetry sink for this process.
+
+        The default ``"off"`` deliberately leaves ambient state alone, so a
+        caller who attached a sink directly (or through ``REPRO_TELEMETRY``)
+        is not silently disconnected by constructing a default config.
+        """
+        if self.telemetry_spec and self.telemetry_spec != "off":
+            telemetry.configure(self.telemetry_spec)
 
     def make_executor(self) -> Executor:
         executor = executor_from_spec(self.executor_spec)

@@ -66,6 +66,9 @@ class VotegralElection:
 
     def __init__(self, config: Optional[ElectionConfig] = None):
         self.config = config or ElectionConfig()
+        # Telemetry attaches first so executor construction (pool spin-up,
+        # cluster enrollment) is already observable.
+        self.config.make_telemetry()
         self.group = self.config.make_group()
         self.executor = self.config.make_executor()
         self.pipeline_spec = self.config.make_pipeline()

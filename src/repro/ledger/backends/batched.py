@@ -33,6 +33,7 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.crypto.hashing import sha256
 from repro.errors import LedgerError
 from repro.ledger.api import BallotPage, Cursor, GENESIS_CURSOR, LedgerBackend
@@ -140,45 +141,51 @@ class BatchedBoard(LedgerBackend):
             pending = self._pending
             if not pending:
                 return
-            payloads = [record.payload() for _, record in pending]
-            # Replay in order; runs of consecutive ballots take the bulk path,
-            # reusing the payloads the batch digest will hash below.
-            applied = 0
-            run: List[BallotRecord] = []
-            run_payloads: List[bytes] = []
-            try:
-                for (kind, record), payload in zip(pending, payloads):
-                    if kind == _BALLOT:
-                        run.append(record)
-                        run_payloads.append(payload)
-                        continue
-                    if run:
-                        self.inner.append_ballots(run, payloads=run_payloads)
-                        applied += len(run)
-                        run, run_payloads = [], []
-                    if kind == _REGISTRATION:
-                        self.inner.append_registration(record)
-                    elif kind == _ENVELOPE_COMMITMENT:
-                        self.inner.append_envelope_commitment(record)
-                    else:
-                        self.inner.append_envelope_usage(record)
-                    applied += 1
+            # Flush-size distribution: how well ingestion amortizes chaining.
+            telemetry.histogram("ledger.flush.records", len(pending), backend="batched")
+            with telemetry.span("ledger.flush", backend="batched", records=len(pending)):
+                self._flush_locked(pending)
+
+    def _flush_locked(self, pending: List[Tuple[int, object]]) -> None:
+        payloads = [record.payload() for _, record in pending]
+        # Replay in order; runs of consecutive ballots take the bulk path,
+        # reusing the payloads the batch digest will hash below.
+        applied = 0
+        run: List[BallotRecord] = []
+        run_payloads: List[bytes] = []
+        try:
+            for (kind, record), payload in zip(pending, payloads):
+                if kind == _BALLOT:
+                    run.append(record)
+                    run_payloads.append(payload)
+                    continue
                 if run:
                     self.inner.append_ballots(run, payloads=run_payloads)
                     applied += len(run)
-                self.inner.flush()
-            except BaseException:
-                self._pending = pending[applied:]
-                self._rebuild_pending_caches()
-                if applied:
-                    # The applied prefix reached the inner ledger; keep the
-                    # batch audit chain covering exactly what landed.
-                    self._commit_batch(payloads[:applied])
-                raise
-            self._pending = []
-            self._pending_challenges.clear()
-            self._pending_active.clear()
-            self._commit_batch(payloads)
+                    run, run_payloads = [], []
+                if kind == _REGISTRATION:
+                    self.inner.append_registration(record)
+                elif kind == _ENVELOPE_COMMITMENT:
+                    self.inner.append_envelope_commitment(record)
+                else:
+                    self.inner.append_envelope_usage(record)
+                applied += 1
+            if run:
+                self.inner.append_ballots(run, payloads=run_payloads)
+                applied += len(run)
+            self.inner.flush()
+        except BaseException:
+            self._pending = pending[applied:]
+            self._rebuild_pending_caches()
+            if applied:
+                # The applied prefix reached the inner ledger; keep the
+                # batch audit chain covering exactly what landed.
+                self._commit_batch(payloads[:applied])
+            raise
+        self._pending = []
+        self._pending_challenges.clear()
+        self._pending_active.clear()
+        self._commit_batch(payloads)
 
     def _commit_batch(self, payloads: Sequence[bytes]) -> None:
         digest = BatchSummary.compute_digest(len(self._batches), self._batch_digest, payloads)

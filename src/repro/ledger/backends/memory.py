@@ -18,6 +18,7 @@ import threading
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence
 
+from repro import telemetry
 from repro.crypto.hashing import sha256
 from repro.errors import LedgerError
 from repro.ledger.api import (
@@ -38,6 +39,10 @@ from repro.ledger.records import (
 
 class MemoryBackend(LedgerBackend):
     """The ledger ``L`` with its three sub-ledgers, held in process memory."""
+
+    #: Telemetry label; subclasses (sqlite) override so the shared read/append
+    #: instrumentation below attributes latency to the right backend.
+    backend_name = "memory"
 
     def __init__(self) -> None:
         self._lock = threading.RLock()
@@ -125,7 +130,10 @@ class MemoryBackend(LedgerBackend):
             seq = len(self._ballots)
             self._ballot_log.append(record.payload())
             self._index_ballot(seq, record)
-            return seq
+        # Counter only (no span object) on the single-append hot path: this
+        # is the casting client's per-ballot ingestion latency.
+        telemetry.counter("ledger.append.ballots", backend=self.backend_name)
+        return seq
 
     def append_ballots(
         self, records: Sequence[BallotRecord], payloads: Optional[Sequence[bytes]] = None
@@ -135,12 +143,15 @@ class MemoryBackend(LedgerBackend):
             return []
         if payloads is None:
             payloads = [record.payload() for record in records]
-        with self._lock:
-            first = len(self._ballots)
-            self._ballot_log.append_many(payloads)
-            for offset, record in enumerate(records):
-                self._index_ballot(first + offset, record)
-            return list(range(first, first + len(records)))
+        with telemetry.span("ledger.append", backend=self.backend_name, items=len(records)):
+            with self._lock:
+                first = len(self._ballots)
+                self._ballot_log.append_many(payloads)
+                for offset, record in enumerate(records):
+                    self._index_ballot(first + offset, record)
+                seqs = list(range(first, first + len(records)))
+        telemetry.counter("ledger.append.ballots", len(records), backend=self.backend_name)
+        return seqs
 
     # ------------------------------------------------------------- registration reads
 
@@ -203,7 +214,7 @@ class MemoryBackend(LedgerBackend):
     ) -> BallotPage:
         if since < 0:
             raise LedgerError(f"ballot cursor must be non-negative, got {since}")
-        with self._lock:
+        with telemetry.span("ledger.read", backend=self.backend_name, since=since), self._lock:
             total = len(self._ballots)
             start = min(since, total)
             if election_id is None:

@@ -68,6 +68,10 @@ CREATE INDEX IF NOT EXISTS idx_ballots_election ON ballots (election_id);
 class SQLiteBackend(MemoryBackend):
     """Write-through persistence over the in-memory reference semantics."""
 
+    #: Attributes the inherited ledger.read / ledger.append telemetry series
+    #: to this backend instead of the in-memory parent.
+    backend_name = "sqlite"
+
     def __init__(self, path: str = ":memory:", group: Optional[Group] = None):
         super().__init__()
         self._path = path

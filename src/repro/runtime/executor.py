@@ -33,6 +33,8 @@ import threading
 import time
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro import telemetry
+
 
 def available_workers() -> int:
     """The number of CPUs actually available to this process."""
@@ -115,10 +117,20 @@ class Executor(abc.ABC):
             # Fine enough for load balancing, coarse enough to amortize dispatch.
             num_chunks = self.num_workers * 4
         chunks = chunk_evenly(work, num_chunks)
-        results: List[Any] = []
-        for chunk_result in self._run_chunks(applier, fn, chunks):
-            results.extend(chunk_result)
-        return results
+        # One span per fan-out (not per item): the single-worker early return
+        # above keeps the serial path span-free, so disabled-mode overhead on
+        # the reference backend stays at zero.
+        with telemetry.span(
+            "executor.map",
+            backend=self.name,
+            op="star" if applier is _star_chunk else "map",
+            items=len(work),
+            chunks=len(chunks),
+        ):
+            results: List[Any] = []
+            for chunk_result in self._run_chunks(applier, fn, chunks):
+                results.extend(chunk_result)
+            return results
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any], chunksize: Optional[int] = None) -> List[Any]:
         """``[fn(x) for x in items]`` with backend-defined parallelism."""
@@ -191,10 +203,11 @@ class _PoolExecutor(Executor):
         """
         if self._warmed and self._pool is not None:
             return
-        pool = self._ensure_pool()
-        for future in [pool.submit(_warm_task, 0.01) for _ in range(self._num_workers)]:
-            future.result()
-        self._warmed = True
+        with telemetry.span("executor.warm", backend=self.name, workers=self._num_workers):
+            pool = self._ensure_pool()
+            for future in [pool.submit(_warm_task, 0.01) for _ in range(self._num_workers)]:
+                future.result()
+            self._warmed = True
 
     def _run_chunks(self, applier, fn, chunks):
         pool = self._ensure_pool()

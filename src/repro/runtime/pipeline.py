@@ -56,6 +56,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.runtime.executor import Executor
 from repro.runtime.sharding import parallel_map
 
@@ -231,15 +232,25 @@ class StreamPipeline:
                 self._error = exc
         self._cancel.set()
 
-    def _put(self, q: "queue.Queue", item: Any) -> None:
+    def _put(self, q: "queue.Queue", item: Any, label: Optional[str] = None) -> None:
+        stalled = False
         while True:
             if self._cancel.is_set():
                 raise _Cancelled()
             try:
                 q.put(item, timeout=_POLL_SECONDS)
-                return
             except queue.Full:
+                # Count each put that blocked at least once: a high stall
+                # count on one queue names the slow stage downstream of it.
+                if label is not None and not stalled and telemetry.enabled():
+                    stalled = True
+                    telemetry.counter("pipeline.backpressure.stalls", pipeline=self.name, queue=label)
                 continue
+            if label is not None and telemetry.enabled():
+                # Sampled depth after our put; the snapshot keeps the
+                # high-water mark, i.e. how close the queue came to its bound.
+                telemetry.gauge("pipeline.queue.depth", q.qsize(), pipeline=self.name, queue=label)
+            return
 
     def _get(self, q: "queue.Queue") -> Any:
         while True:
@@ -253,7 +264,7 @@ class StreamPipeline:
     def _feed(self, source: Iterable[Shard], out: "queue.Queue", sentinel: object) -> None:
         try:
             for shard in source:
-                self._put(out, shard)
+                self._put(out, shard, "source")
             self._put(out, sentinel)
         except _Cancelled:
             pass
@@ -265,18 +276,30 @@ class StreamPipeline:
             while True:
                 item = self._get(inbox)
                 if item is sentinel:
-                    for shard in stage.finish():
-                        self._put(out, shard)
+                    with telemetry.span("pipeline.finish", pipeline=self.name, stage=stage.name):
+                        for shard in stage.finish():
+                            self._put(out, shard, stage.name)
                     self._put(out, sentinel)
                     # Post-stream work runs with downstream already unblocked:
                     # this is what lets a mixer compute its shadow proof while
                     # the next mixer consumes the main output.  Skipped when
                     # the pipeline is already dead.
                     if not self._cancel.is_set():
-                        stage.finalize()
+                        with telemetry.span("pipeline.finalize", pipeline=self.name, stage=stage.name):
+                            stage.finalize()
                     return
-                for shard in stage.process(item):
-                    self._put(out, shard)
+                # The span covers shard service time *including* any blocked
+                # put downstream — stalls are separated out by the
+                # pipeline.backpressure.stalls counter on the outbound queue.
+                with telemetry.span(
+                    "pipeline.stage",
+                    pipeline=self.name,
+                    stage=stage.name,
+                    shard=item.index,
+                    items=len(item),
+                ):
+                    for shard in stage.process(item):
+                        self._put(out, shard, stage.name)
         except _Cancelled:
             pass
         except BaseException as exc:  # noqa: BLE001 - propagated to run()

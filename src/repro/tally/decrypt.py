@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro import telemetry
 from repro.crypto.dkg import DistributedKeyGeneration
 from repro.crypto.elgamal import ElGamalCiphertext
 from repro.errors import TallyError
@@ -46,11 +47,12 @@ def decrypt_votes(
     Each ballot decrypts independently, so the work shards across the
     executor; ballot order (and thus the published vote list) is preserved.
     """
-    return parallel_starmap(
-        _decrypt_one,
-        [(dkg, ciphertext, num_options, verify) for ciphertext in ciphertexts],
-        executor=executor,
-    )
+    with telemetry.span("tally.decrypt", items=len(ciphertexts)):
+        return parallel_starmap(
+            _decrypt_one,
+            [(dkg, ciphertext, num_options, verify) for ciphertext in ciphertexts],
+            executor=executor,
+        )
 
 
 def aggregate(votes: Sequence[DecryptedVote], num_options: int) -> Dict[int, int]:

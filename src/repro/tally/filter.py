@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.crypto.dkg import DistributedKeyGeneration
 from repro.crypto.elgamal import ElGamalCiphertext
 from repro.crypto.group import GroupElement
@@ -79,18 +80,21 @@ class TagJoiner:
         self, tagged_votes: Sequence[Tuple[ElGamalCiphertext, bytes]]
     ) -> List[ElGamalCiphertext]:
         """Join a batch of (vote ciphertext, blinded tag); return the newly counted votes."""
-        newly_counted: List[ElGamalCiphertext] = []
-        for vote_ciphertext, tag_bytes in tagged_votes:
-            self.ballot_tags.append(tag_bytes)
-            if tag_bytes in self._remaining:
-                newly_counted.append(vote_ciphertext)
-                self._remaining.discard(tag_bytes)
-            elif tag_bytes in self._registered:
-                self.duplicate_tags += 1
-            else:
-                self.discarded += 1
-        self.counted.extend(newly_counted)
-        return newly_counted
+        # Both the serial filter and the streaming join stage land here, so
+        # this one span is the "tally.join" phase under either schedule.
+        with telemetry.span("tally.join", items=len(tagged_votes)):
+            newly_counted: List[ElGamalCiphertext] = []
+            for vote_ciphertext, tag_bytes in tagged_votes:
+                self.ballot_tags.append(tag_bytes)
+                if tag_bytes in self._remaining:
+                    newly_counted.append(vote_ciphertext)
+                    self._remaining.discard(tag_bytes)
+                elif tag_bytes in self._registered:
+                    self.duplicate_tags += 1
+                else:
+                    self.discarded += 1
+            self.counted.extend(newly_counted)
+            return newly_counted
 
     def result(self) -> FilterResult:
         return FilterResult(
@@ -124,7 +128,8 @@ def filter_ballots(
     """
     tag_jobs = [(tagging, dkg, ciphertext, verify) for ciphertext in mixed_registration_tags]
     tag_jobs += [(tagging, dkg, credential_ciphertext, verify) for _, credential_ciphertext in mixed_pairs]
-    all_tags = parallel_starmap(_blinded_tag_bytes, tag_jobs, executor=executor)
+    with telemetry.span("tally.tag", items=len(tag_jobs)):
+        all_tags = parallel_starmap(_blinded_tag_bytes, tag_jobs, executor=executor)
     registration_tags = all_tags[: len(mixed_registration_tags)]
     pair_tags = all_tags[len(mixed_registration_tags) :]
 

@@ -14,6 +14,7 @@ import secrets
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.crypto.elgamal import ElGamal, ElGamalCiphertext
 from repro.crypto.group import GroupElement
 from repro.crypto.hashing import sha256
@@ -333,8 +334,9 @@ def tuple_mix_cascade(
 ) -> TupleCascade:
     stages: List[TupleShuffle] = []
     current = list(inputs)
-    for _ in range(num_mixers):
-        stage = shuffle_tuples_with_proof(elgamal, public_key, current, rounds=rounds, executor=executor)
+    for index in range(num_mixers):
+        with telemetry.span("tally.mix", mixer=index, items=len(current)):
+            stage = shuffle_tuples_with_proof(elgamal, public_key, current, rounds=rounds, executor=executor)
         stages.append(stage)
         current = stage.outputs
     return TupleCascade(stages=stages)
@@ -475,6 +477,12 @@ class MixerStage(Stage):
         self.result: Optional[TupleShuffle] = None
 
     def process(self, shard: Shard):
+        # The streaming half of the "tally.mix" phase span (the serial
+        # cascade emits it around each whole shuffle instead).
+        with telemetry.span("tally.mix", mixer=self.name, shard=shard.index, items=len(shard)):
+            yield from self._process(shard)
+
+    def _process(self, shard: Shard):
         start = self._offset
         self._offset += len(shard.items)
         if self._offset > self._num_items:

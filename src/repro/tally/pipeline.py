@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import telemetry
 from repro.audit.evidence import TallyEvidence, build_tally_evidence
 from repro.crypto.dkg import DistributedKeyGeneration
 from repro.crypto.elgamal import ElGamal, ElGamalCiphertext
@@ -149,11 +150,12 @@ class _TagStage(Stage):
         self.executor = executor
 
     def process(self, shard: Shard):
-        tags = parallel_starmap(
-            _blinded_tag_bytes,
-            [(self.tagging, self.dkg, credential, False) for _, credential in shard.items],
-            executor=self.executor,
-        )
+        with telemetry.span("tally.tag", shard=shard.index, items=len(shard)):
+            tags = parallel_starmap(
+                _blinded_tag_bytes,
+                [(self.tagging, self.dkg, credential, False) for _, credential in shard.items],
+                executor=self.executor,
+            )
         yield Shard(shard.index, [(vote, tag) for (vote, _), tag in zip(shard.items, tags)])
 
 
@@ -189,11 +191,12 @@ class _DecryptStage(Stage):
         self.executor = executor
 
     def process(self, shard: Shard):
-        votes = parallel_starmap(
-            _decrypt_one,
-            [(self.dkg, ciphertext, self.num_options, False) for ciphertext in shard.items],
-            executor=self.executor,
-        )
+        with telemetry.span("tally.decrypt", shard=shard.index, items=len(shard)):
+            votes = parallel_starmap(
+                _decrypt_one,
+                [(self.dkg, ciphertext, self.num_options, False) for ciphertext in shard.items],
+                executor=self.executor,
+            )
         yield Shard(shard.index, votes)
 
 
@@ -316,7 +319,11 @@ class TallyPipeline:
         registrations = view.active_registrations()
         if not registrations:
             raise TallyError("no active registrations: nothing to tally")
-        ballots = self._valid_ballots(view, election_id, executor=ex, pipeline=spec)
+        # One of the five tally phase spans (sig-check / mix / tag / join /
+        # decrypt); the other four are emitted at the point of work in
+        # mixnet/filter/decrypt so both schedules produce the same names.
+        with telemetry.span("tally.sig-check", election=election_id):
+            ballots = self._valid_ballots(view, election_id, executor=ex, pipeline=spec)
         if rotations is not None:
             ballots = [b for b in ballots if not rotations.is_retired(b.credential_public_key)]
 

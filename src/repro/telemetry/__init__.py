@@ -1,0 +1,222 @@
+"""repro.telemetry — dependency-free tracing + metrics for the whole stack.
+
+Selected via ``ElectionConfig.telemetry_spec`` (default ``"off"``) or
+directly with :func:`configure`.  The spec grammar mirrors the other
+``*_spec`` knobs:
+
+- ``"off"`` — disabled.  Every primitive short-circuits: this is the mode
+  the tier-1 suite and production-default runs pay for, and it is gated to
+  ≤1.02× tally overhead by ``benchmarks/bench_telemetry_overhead.py``.
+- ``"mem"`` — buffer events in-process (tests, single-process tallies, and
+  cluster workers, whose events ride home on RESULT frames).
+- ``"jsonl:<path>"`` — stream events to an append-only JSONL trace shared by
+  every process; render it later with
+  ``python -m repro.telemetry summarize <trace.jsonl>``.
+
+State is process-global and lazily attached: :func:`configure` exports
+``REPRO_TELEMETRY`` so pool children and spawned cluster workers that import
+this module resolve the same spec on first use — the same environment path
+``REPRO_PRECOMPUTE_CACHE`` travels.  Usage::
+
+    from repro import telemetry
+
+    telemetry.configure("jsonl:/tmp/trace.jsonl")
+    with telemetry.span("tally.mix", mixer=0):
+        ...
+    telemetry.counter("cluster.dispatch", worker="w-1")
+    print(telemetry.snapshot().to_prometheus())
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.telemetry.core import (
+    SPEC_OFF,
+    TELEMETRY_ENV,
+    JsonlSink,
+    MemSink,
+    SpanHandle,
+    Telemetry,
+    read_jsonl,
+    telemetry_from_spec,
+)
+from repro.telemetry.snapshot import TelemetrySnapshot
+
+__all__ = [
+    "SPEC_OFF",
+    "TELEMETRY_ENV",
+    "JsonlSink",
+    "MemSink",
+    "SpanHandle",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "configure",
+    "counter",
+    "current",
+    "drain",
+    "enabled",
+    "gauge",
+    "histogram",
+    "ingest",
+    "read_jsonl",
+    "snapshot",
+    "span",
+    "telemetry_from_spec",
+]
+
+_UNSET = object()
+_state: Any = _UNSET  # _UNSET -> resolve from env; None -> off; Telemetry -> on
+_state_lock = threading.Lock()
+_hooks_installed = False
+
+
+def _install_hooks_locked() -> None:
+    """Once per process: post-fork child reset + end-of-process metric flush.
+
+    Forked children inherit a *copy* of the parent's metric aggregates; they
+    must start from zero or every flush/drain would multiply-count the
+    parent's history.  The atexit flush persists the main process's metric
+    aggregates into a ``jsonl:`` sink so ``summarize`` sees them.
+    """
+    global _hooks_installed
+    if _hooks_installed:
+        return
+    _hooks_installed = True
+    if hasattr(os, "register_at_fork"):
+        os.register_at_fork(after_in_child=_after_fork_in_child)
+    atexit.register(_flush_at_exit)
+
+
+def _after_fork_in_child() -> None:
+    state = _state
+    if isinstance(state, Telemetry):
+        state.reset_in_child()
+
+
+def _flush_at_exit() -> None:
+    state = _state
+    if isinstance(state, Telemetry) and isinstance(state.sink, JsonlSink):
+        try:
+            state.close()  # close() flushes the metric aggregates first
+        except Exception:  # pragma: no cover - never fail interpreter exit
+            pass
+
+
+def _resolve() -> Optional[Telemetry]:
+    """The active :class:`Telemetry`, attaching from the environment once."""
+    state = _state
+    if state is not _UNSET:
+        return state
+    with _state_lock:
+        if _state is _UNSET:
+            _attach_locked(telemetry_from_spec(os.environ.get(TELEMETRY_ENV, SPEC_OFF)))
+        return _state
+
+
+def _attach_locked(telemetry: Optional[Telemetry]) -> None:
+    global _state
+    _state = telemetry
+    if telemetry is not None:
+        _install_hooks_locked()
+
+
+def configure(spec: Optional[str], propagate: bool = True) -> Optional[Telemetry]:
+    """Install the telemetry selected by ``spec`` for this process.
+
+    With ``propagate`` (the default) the spec is exported as
+    ``REPRO_TELEMETRY`` so subprocesses started from here — process pools,
+    spawned cluster workers, benchmark children — attach to the same sink.
+    Cluster workers pass ``propagate=False``: their events travel back on
+    RESULT frames instead of racing the coordinator for the trace file.
+    """
+    telemetry = telemetry_from_spec(spec)
+    with _state_lock:
+        previous = _state
+        if isinstance(previous, Telemetry) and previous is not telemetry:
+            previous.close()
+        _attach_locked(telemetry)
+    if propagate:
+        if telemetry is None:
+            os.environ.pop(TELEMETRY_ENV, None)
+        else:
+            os.environ[TELEMETRY_ENV] = telemetry.spec
+    return telemetry
+
+
+def current() -> Optional[Telemetry]:
+    """The active :class:`Telemetry`, or ``None`` when disabled."""
+    return _resolve()
+
+
+def enabled() -> bool:
+    return _resolve() is not None
+
+
+def span(name: str, **attrs: Any) -> SpanHandle:
+    """A timed region.  Use as a context manager::
+
+        with telemetry.span("tally.decrypt", items=len(votes)) as handle:
+            ...
+        report.elapsed_seconds = handle.elapsed_seconds
+
+    The handle measures even when telemetry is off (so callers can reuse its
+    ``elapsed_seconds`` in their own reports); it only records when enabled.
+    """
+    return SpanHandle(name, attrs, _resolve())
+
+
+def counter(name: str, value: float = 1.0, **labels: Any) -> None:
+    state = _resolve()
+    if state is not None:
+        state.counter(name, value, **labels)
+
+
+def gauge(name: str, value: float, **labels: Any) -> None:
+    """Record a sampled level; snapshots keep both last and high-water max."""
+    state = _resolve()
+    if state is not None:
+        state.gauge(name, value, **labels)
+
+
+def histogram(name: str, value: float, **labels: Any) -> None:
+    state = _resolve()
+    if state is not None:
+        state.histogram(name, value, **labels)
+
+
+def drain() -> List[Dict[str, Any]]:
+    """Pop this process's buffered spans and metric aggregates.
+
+    This is the cluster piggyback: a worker drains after each task and ships
+    the blob on the RESULT frame; the coordinator folds it in via
+    :func:`ingest` so one snapshot covers the fleet.
+    """
+    state = _resolve()
+    if state is None:
+        return []
+    return state.drain()
+
+
+def ingest(events: Sequence[Dict[str, Any]], **extra_labels: Any) -> None:
+    """Merge foreign events (a drained blob) into this process's telemetry."""
+    state = _resolve()
+    if state is not None and events:
+        state.ingest(events, **extra_labels)
+
+
+def snapshot() -> TelemetrySnapshot:
+    """One merged report: sink events plus this process's live aggregates.
+
+    For a ``jsonl:`` sink the trace file is re-read, so spans and flushed
+    metrics from every participating process land in the same snapshot.
+    """
+    state = _resolve()
+    if state is None:
+        return TelemetrySnapshot()
+    events = list(state.sink.events())
+    events.extend(state.metrics_events())
+    return TelemetrySnapshot.from_events(events)

@@ -1,0 +1,50 @@
+"""``python -m repro.telemetry`` — offline trace tooling.
+
+``summarize <trace.jsonl>`` renders a span tree with self/total times, the
+top-N self-time hotspots, and a Prometheus-style metrics block from a trace
+written by the ``jsonl:<path>`` telemetry spec.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.telemetry.snapshot import TelemetrySnapshot
+
+
+def summarize(path: str, top: int = 10) -> str:
+    snapshot = TelemetrySnapshot.from_jsonl(path)
+    header = f"Trace {path}: "
+    return header + snapshot.summary(top=top)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Offline tooling for repro telemetry traces.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    summarize_cmd = commands.add_parser(
+        "summarize", help="render a span tree, hotspots, and metrics from a JSONL trace"
+    )
+    summarize_cmd.add_argument("trace", help="path to a trace written by the jsonl:<path> spec")
+    summarize_cmd.add_argument(
+        "--top", type=int, default=10, help="number of self-time hotspots to list (default 10)"
+    )
+    options = parser.parse_args(argv)
+
+    if options.command == "summarize":
+        if not os.path.exists(options.trace):
+            print(f"no such trace file: {options.trace}", file=sys.stderr)
+            return 2
+        print(summarize(options.trace, top=options.top))
+        return 0
+    parser.error(f"unknown command {options.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

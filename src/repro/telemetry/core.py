@@ -1,0 +1,434 @@
+"""Core tracing + metrics state: spans, counters, gauges, histograms, sinks.
+
+Everything here is stdlib-only and import-light on purpose: every hot module
+in the repo (executors, the stream pipeline, ledger backends, the cluster
+coordinator) imports :mod:`repro.telemetry`, so this module must never import
+back into them.
+
+Design constraints, in order of importance:
+
+1. **Disabled mode is near-free.**  The default spec is ``"off"``; in that
+   state ``counter``/``gauge``/``histogram`` are a dict lookup and an early
+   return, and ``span`` allocates one small handle that still measures its
+   own elapsed time (callers like :class:`repro.audit.api.Verifier` read
+   ``elapsed_seconds`` off the handle whether or not telemetry records it)
+   but touches no shared state.
+2. **Thread- and process-safe identity.**  Span IDs embed the emitting PID,
+   so IDs minted on either side of a ``fork()`` never collide; the parent
+   stack is thread-local, so concurrent pipeline stages each get their own
+   span lineage.
+3. **Crash-safe JSONL.**  The ``jsonl:`` sink appends one complete line per
+   event with a single unbuffered ``write()`` on an ``O_APPEND`` descriptor,
+   so concurrent writers (threads, forked pool workers, spawned cluster
+   workers) interleave *lines*, never bytes within a line.
+4. **Children re-attach via the environment.**  ``configure()`` exports
+   ``REPRO_TELEMETRY``; any subprocess that imports this module lazily
+   resolves the same spec on first use — the same propagation path
+   ``REPRO_PRECOMPUTE_CACHE`` uses to reach pool and cluster workers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+SPEC_OFF = "off"
+
+# Label sets are stored canonically as sorted (key, value) tuples so that
+# {"a": 1, "b": 2} and {"b": 2, "a": 1} aggregate into the same series.
+LabelKey = Tuple[Tuple[str, str], ...]
+MetricKey = Tuple[str, LabelKey]
+
+_SPAN_IDS = itertools.count(1)
+_TLS = threading.local()
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def _new_span_id() -> str:
+    """A fleet-unique span ID: PID-prefixed monotonic counter.
+
+    The counter is plain :mod:`itertools` (no lock needed — ``next`` on a
+    count is atomic under the GIL); uniqueness across ``fork()`` children
+    that inherit the counter position comes from the PID prefix.
+    """
+    return "%x.%x" % (os.getpid(), next(_SPAN_IDS))
+
+
+def _span_stack() -> List["SpanHandle"]:
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = []
+        _TLS.stack = stack
+    return stack
+
+
+class SpanHandle:
+    """One timed region.  Context manager; nests via a thread-local stack.
+
+    Always measures (``elapsed_seconds`` is valid even when telemetry is
+    off — callers may surface it in their own reports); only *records* to
+    the active sink when a :class:`Telemetry` is attached.
+    """
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "start", "end", "_telemetry")
+
+    def __init__(self, name: str, attrs: Dict[str, Any], telemetry: Optional["Telemetry"]):
+        self.name = name
+        self.attrs = attrs
+        self._telemetry = telemetry
+        self.span_id = _new_span_id() if telemetry is not None else ""
+        self.parent_id: Optional[str] = None
+        self.start = 0.0
+        self.end = 0.0
+
+    @property
+    def elapsed_seconds(self) -> float:
+        if self.end:
+            return self.end - self.start
+        return time.perf_counter() - self.start
+
+    def __enter__(self) -> "SpanHandle":
+        if self._telemetry is not None:
+            stack = _span_stack()
+            if stack:
+                self.parent_id = stack[-1].span_id
+            stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.end = time.perf_counter()
+        telemetry = self._telemetry
+        if telemetry is not None:
+            stack = _span_stack()
+            if stack and stack[-1] is self:
+                stack.pop()
+            elif self in stack:  # pragma: no cover - unbalanced exit safety net
+                stack.remove(self)
+            if exc_type is not None:
+                self.attrs["error"] = getattr(exc_type, "__name__", str(exc_type))
+            telemetry.record_span(self)
+
+
+class MemSink:
+    """In-process event buffer: the ``"mem"`` spec and the cluster workers."""
+
+    kind = "mem"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def events(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._events)
+
+    def take(self) -> List[Dict[str, Any]]:
+        """Pop everything buffered so far (the cluster piggyback drain)."""
+        with self._lock:
+            events, self._events = self._events, []
+            return events
+
+    def reset(self) -> None:
+        with self._lock:
+            self._events = []
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Append-only JSONL file shared by every process in the run.
+
+    Each event is serialised to one line and pushed with a single
+    ``os.write``-backed call on an append-mode, unbuffered binary handle:
+    POSIX ``O_APPEND`` semantics make concurrent line writes atomic, so a
+    reader always sees whole JSON lines regardless of how many processes
+    share the file.
+    """
+
+    kind = "jsonl"
+
+    def __init__(self, path: str) -> None:
+        self.path = os.path.abspath(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "ab", buffering=0)
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        line = (json.dumps(event, separators=(",", ":"), sort_keys=True) + "\n").encode("utf-8")
+        with self._lock:
+            self._handle.write(line)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Re-read the shared file: picks up every writer, not just us."""
+        return list(read_jsonl(self.path))
+
+    def take(self) -> List[Dict[str, Any]]:
+        return []  # the file *is* the shared buffer; nothing to hand-carry
+
+    def reset(self) -> None:
+        pass
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+def read_jsonl(path: str) -> Iterator[Dict[str, Any]]:
+    """Yield events from a trace file, skipping any torn trailing line."""
+    try:
+        handle = open(path, "rb")
+    except OSError:
+        return
+    with handle:
+        for raw in handle:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                event = json.loads(raw)
+            except ValueError:
+                continue  # torn or foreign line — never poison a whole trace
+            if isinstance(event, dict):
+                yield event
+
+
+class Telemetry:
+    """One process's telemetry state: a sink plus in-memory metric aggregates.
+
+    Spans stream to the sink eagerly (they are the trace); counters, gauges
+    and histograms aggregate locally and are folded into snapshots, drained
+    for the cluster piggyback, or flushed to the JSONL file at process exit
+    so pool children's metrics survive them.
+    """
+
+    def __init__(self, sink: Any, spec: str) -> None:
+        self.sink = sink
+        self.spec = spec
+        self._lock = threading.Lock()
+        self._counters: Dict[MetricKey, float] = {}
+        self._gauges: Dict[MetricKey, List[float]] = {}  # [last, max]
+        self._histograms: Dict[MetricKey, List[float]] = {}  # [count, sum, min, max]
+
+    # ------------------------------------------------------------- recording
+
+    def record_span(self, span: SpanHandle) -> None:
+        event: Dict[str, Any] = {
+            "type": "span",
+            "name": span.name,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "pid": os.getpid(),
+            "start": span.start,
+            "duration": span.end - span.start,
+        }
+        if span.attrs:
+            event["attrs"] = {key: _jsonable(value) for key, value in span.attrs.items()}
+        self.sink.emit(event)
+
+    def counter(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        key = (name, _label_key(labels))
+        with self._lock:
+            slot = self._gauges.get(key)
+            if slot is None:
+                self._gauges[key] = [value, value]
+            else:
+                slot[0] = value
+                if value > slot[1]:
+                    slot[1] = value
+
+    def histogram(self, name: str, value: float, **labels: Any) -> None:
+        key = (name, _label_key(labels))
+        with self._lock:
+            slot = self._histograms.get(key)
+            if slot is None:
+                self._histograms[key] = [1.0, value, value, value]
+            else:
+                slot[0] += 1.0
+                slot[1] += value
+                if value < slot[2]:
+                    slot[2] = value
+                if value > slot[3]:
+                    slot[3] = value
+
+    # ------------------------------------------------------------- extraction
+
+    def metrics_events(self, reset: bool = False) -> List[Dict[str, Any]]:
+        """The local aggregates as portable event dicts."""
+        events: List[Dict[str, Any]] = []
+        pid = os.getpid()
+        with self._lock:
+            for (name, labels), value in self._counters.items():
+                events.append(
+                    {"type": "counter", "name": name, "labels": dict(labels), "value": value, "pid": pid}
+                )
+            for (name, labels), (last, high) in self._gauges.items():
+                events.append(
+                    {"type": "gauge", "name": name, "labels": dict(labels), "value": last, "max": high, "pid": pid}
+                )
+            for (name, labels), (count, total, low, high) in self._histograms.items():
+                events.append(
+                    {
+                        "type": "histogram",
+                        "name": name,
+                        "labels": dict(labels),
+                        "count": count,
+                        "sum": total,
+                        "min": low,
+                        "max": high,
+                        "pid": pid,
+                    }
+                )
+            if reset:
+                self._counters.clear()
+                self._gauges.clear()
+                self._histograms.clear()
+        return events
+
+    def ingest(self, events: Sequence[Dict[str, Any]], **extra_labels: Any) -> None:
+        """Fold foreign events (a worker's drained blob) into this process.
+
+        Span events are re-emitted to our sink tagged with ``extra_labels``
+        (e.g. ``worker="w-3"``); metric events merge into our aggregates with
+        the extra labels appended, so a fleet-wide snapshot keeps per-worker
+        series distinct.
+        """
+        for event in events:
+            kind = event.get("type")
+            if kind == "span":
+                merged = dict(event)
+                if extra_labels:
+                    attrs = dict(merged.get("attrs") or {})
+                    attrs.update({key: _jsonable(value) for key, value in extra_labels.items()})
+                    merged["attrs"] = attrs
+                self.sink.emit(merged)
+            elif kind == "counter":
+                labels = dict(event.get("labels") or {})
+                labels.update(extra_labels)
+                self.counter(event["name"], float(event.get("value", 0.0)), **labels)
+            elif kind == "gauge":
+                labels = dict(event.get("labels") or {})
+                labels.update(extra_labels)
+                value = float(event.get("value", 0.0))
+                high = float(event.get("max", value))
+                key = (event["name"], _label_key(labels))
+                with self._lock:
+                    slot = self._gauges.get(key)
+                    if slot is None:
+                        self._gauges[key] = [value, high]
+                    else:
+                        slot[0] = value
+                        if high > slot[1]:
+                            slot[1] = high
+            elif kind == "histogram":
+                labels = dict(event.get("labels") or {})
+                labels.update(extra_labels)
+                self._merge_histogram(event, labels)
+
+    def _merge_histogram(self, event: Dict[str, Any], labels: Dict[str, Any]) -> None:
+        key = (event["name"], _label_key(labels))
+        count = float(event.get("count", 0.0))
+        total = float(event.get("sum", 0.0))
+        low = float(event.get("min", 0.0))
+        high = float(event.get("max", 0.0))
+        with self._lock:
+            slot = self._histograms.get(key)
+            if slot is None:
+                self._histograms[key] = [count, total, low, high]
+            else:
+                slot[0] += count
+                slot[1] += total
+                if low < slot[2]:
+                    slot[2] = low
+                if high > slot[3]:
+                    slot[3] = high
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Pop buffered spans *and* metric aggregates (cluster piggyback)."""
+        events = list(self.sink.take())
+        events.extend(self.metrics_events(reset=True))
+        return events
+
+    def flush_metrics(self) -> None:
+        """Write the aggregates into the sink (JSONL end-of-process flush)."""
+        for event in self.metrics_events():
+            self.sink.emit(event)
+
+    def reset_in_child(self) -> None:
+        """Post-``fork()`` reset: drop aggregates copied from the parent.
+
+        Without this, every pool child would re-flush the parent's pre-fork
+        counters at exit and snapshots would multiply-count them.  The JSONL
+        file handle is kept — ``O_APPEND`` descriptors are fork-safe.
+        """
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+        self.sink.reset()
+
+    def close(self) -> None:
+        # Flush before closing: detaching (configure("off"), or swapping
+        # specs) must not lose the aggregates a post-mortem reader expects
+        # to find in the trace file.
+        try:
+            self.flush_metrics()
+        except OSError:  # pragma: no cover - sink already gone
+            pass
+        self.sink.close()
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def telemetry_from_spec(spec: Optional[str]) -> Optional[Telemetry]:
+    """Build a :class:`Telemetry` from a spec string; ``None`` means off.
+
+    Grammar (mirrors ``executor_spec``/``board_spec``):
+
+    - ``"off"`` (or empty) — disabled; every primitive is a no-op.
+    - ``"mem"`` — buffer events in-process (single-process runs, tests).
+    - ``"jsonl:<path>"`` — stream events to an append-only JSONL trace file
+      shared by every process in the run.
+    """
+    if spec is None:
+        return None
+    text = spec.strip()
+    if text in ("", SPEC_OFF):
+        return None
+    if text == "mem":
+        return Telemetry(MemSink(), text)
+    if text.startswith("jsonl:"):
+        path = text[len("jsonl:"):]
+        if not path:
+            raise ValueError("jsonl telemetry spec needs a path: 'jsonl:<path>'")
+        return Telemetry(JsonlSink(path), text)
+    raise ValueError(
+        f"unknown telemetry spec {spec!r}; expected 'off', 'mem', or 'jsonl:<path>'"
+    )

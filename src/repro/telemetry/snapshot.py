@@ -1,0 +1,297 @@
+"""Merged telemetry reports: snapshots, Prometheus text, span trees.
+
+A :class:`TelemetrySnapshot` is built from *events* — the portable dicts the
+sinks store (see :mod:`repro.telemetry.core`) — so the same code renders a
+live in-process snapshot, a multi-process ``jsonl:`` trace file, and a
+cluster fleet report where worker events arrived piggybacked on RESULT
+frames.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.telemetry.core import LabelKey, _label_key, read_jsonl
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, suffix: str = "") -> str:
+    return "repro_" + _NAME_RE.sub("_", name) + suffix
+
+
+def _label_text(labels: LabelKey) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{_NAME_RE.sub("_", key)}="{value}"' for key, value in labels)
+    return "{" + inner + "}"
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+class TelemetrySnapshot:
+    """One merged, queryable view over spans and metric aggregates."""
+
+    def __init__(self) -> None:
+        self.spans: List[Dict[str, Any]] = []
+        self.counters: Dict[Tuple[str, LabelKey], float] = {}
+        self.gauges: Dict[Tuple[str, LabelKey], Tuple[float, float]] = {}  # (last, max)
+        self.histograms: Dict[Tuple[str, LabelKey], Tuple[float, float, float, float]] = {}
+
+    # ------------------------------------------------------------- building
+
+    @classmethod
+    def from_events(cls, events: Iterable[Dict[str, Any]]) -> "TelemetrySnapshot":
+        snapshot = cls()
+        for event in events:
+            snapshot.add_event(event)
+        return snapshot
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "TelemetrySnapshot":
+        return cls.from_events(read_jsonl(path))
+
+    def add_event(self, event: Dict[str, Any]) -> None:
+        kind = event.get("type")
+        if kind == "span":
+            self.spans.append(event)
+            return
+        name = event.get("name")
+        if not isinstance(name, str):
+            return
+        key = (name, _label_key(event.get("labels") or {}))
+        if kind == "counter":
+            self.counters[key] = self.counters.get(key, 0.0) + float(event.get("value", 0.0))
+        elif kind == "gauge":
+            value = float(event.get("value", 0.0))
+            high = float(event.get("max", value))
+            last, prior_high = self.gauges.get(key, (value, high))
+            self.gauges[key] = (value, max(high, prior_high))
+        elif kind == "histogram":
+            count = float(event.get("count", 0.0))
+            total = float(event.get("sum", 0.0))
+            low = float(event.get("min", 0.0))
+            high = float(event.get("max", 0.0))
+            slot = self.histograms.get(key)
+            if slot is None:
+                self.histograms[key] = (count, total, low, high)
+            else:
+                self.histograms[key] = (
+                    slot[0] + count,
+                    slot[1] + total,
+                    min(slot[2], low),
+                    max(slot[3], high),
+                )
+
+    # ------------------------------------------------------------- queries
+
+    def span_names(self) -> List[str]:
+        return sorted({span.get("name", "") for span in self.spans})
+
+    def spans_named(self, name: str) -> List[Dict[str, Any]]:
+        return [span for span in self.spans if span.get("name") == name]
+
+    def counter_total(self, name: str, **labels: Any) -> float:
+        """Sum of a counter across every label set matching ``labels``."""
+        want = dict(_label_key(labels))
+        total = 0.0
+        for (metric, label_key), value in self.counters.items():
+            if metric != name:
+                continue
+            have = dict(label_key)
+            if all(have.get(key) == value_ for key, value_ in want.items()):
+                total += value
+        return total
+
+    def gauge_high_water(self, name: str, **labels: Any) -> Optional[float]:
+        """Max observed value of a gauge across matching label sets."""
+        want = dict(_label_key(labels))
+        best: Optional[float] = None
+        for (metric, label_key), (_, high) in self.gauges.items():
+            if metric != name:
+                continue
+            have = dict(label_key)
+            if all(have.get(key) == value_ for key, value_ in want.items()):
+                best = high if best is None else max(best, high)
+        return best
+
+    # ------------------------------------------------------------- rendering
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of every metric plus span aggregates."""
+        lines: List[str] = []
+        seen_types: set = set()
+
+        def header(base: str, kind: str) -> None:
+            if base not in seen_types:
+                seen_types.add(base)
+                lines.append(f"# TYPE {base} {kind}")
+
+        for (name, labels), value in sorted(self.counters.items()):
+            base = _metric_name(name, "_total")
+            header(base, "counter")
+            lines.append(f"{base}{_label_text(labels)} {_num(value)}")
+        for (name, labels), (last, high) in sorted(self.gauges.items()):
+            base = _metric_name(name)
+            header(base, "gauge")
+            lines.append(f"{base}{_label_text(labels)} {_num(last)}")
+            header(base + "_max", "gauge")
+            lines.append(f"{base}_max{_label_text(labels)} {_num(high)}")
+        for (name, labels), (count, total, low, high) in sorted(self.histograms.items()):
+            base = _metric_name(name)
+            header(base + "_count", "counter")
+            lines.append(f"{base}_count{_label_text(labels)} {_num(count)}")
+            header(base + "_sum", "counter")
+            lines.append(f"{base}_sum{_label_text(labels)} {_num(total)}")
+            header(base + "_min", "gauge")
+            lines.append(f"{base}_min{_label_text(labels)} {_num(low)}")
+            header(base + "_max", "gauge")
+            lines.append(f"{base}_max{_label_text(labels)} {_num(high)}")
+
+        span_aggregate: Dict[str, List[float]] = {}
+        for span in self.spans:
+            slot = span_aggregate.setdefault(str(span.get("name", "")), [0.0, 0.0])
+            slot[0] += 1.0
+            slot[1] += float(span.get("duration", 0.0))
+        for name in sorted(span_aggregate):
+            count, total = span_aggregate[name]
+            labels: LabelKey = (("name", name),)
+            header("repro_span_seconds_count", "counter")
+            lines.append(f"repro_span_seconds_count{_label_text(labels)} {_num(count)}")
+            header("repro_span_seconds_sum", "counter")
+            lines.append(f"repro_span_seconds_sum{_label_text(labels)} {_num(total)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def span_tree(self) -> List["SpanGroup"]:
+        """The trace as an aggregated tree: siblings of one name collapse.
+
+        Spans whose parent never reached the sink (cross-process roots,
+        in-flight parents) become roots.  Within each level, groups sort by
+        total time descending.
+        """
+        by_id = {span.get("span_id"): span for span in self.spans if span.get("span_id")}
+        children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+        roots: List[Dict[str, Any]] = []
+        for span in self.spans:
+            parent = span.get("parent_id")
+            if parent and parent in by_id:
+                children.setdefault(parent, []).append(span)
+            else:
+                roots.append(span)
+        return _group_spans(roots, children)
+
+    def hotspots(self, top: int = 10) -> List[Tuple[str, int, float, float]]:
+        """``(name, count, total_seconds, self_seconds)`` sorted by self time."""
+        by_id = {span.get("span_id"): span for span in self.spans if span.get("span_id")}
+        child_time: Dict[Optional[str], float] = {}
+        for span in self.spans:
+            parent = span.get("parent_id")
+            if parent and parent in by_id:
+                child_time[parent] = child_time.get(parent, 0.0) + float(span.get("duration", 0.0))
+        aggregate: Dict[str, List[float]] = {}
+        for span in self.spans:
+            duration = float(span.get("duration", 0.0))
+            self_time = max(0.0, duration - child_time.get(span.get("span_id"), 0.0))
+            slot = aggregate.setdefault(str(span.get("name", "")), [0.0, 0.0, 0.0])
+            slot[0] += 1.0
+            slot[1] += duration
+            slot[2] += self_time
+        ranked = sorted(aggregate.items(), key=lambda item: item[1][2], reverse=True)
+        return [(name, int(count), total, self_time) for name, (count, total, self_time) in ranked[:top]]
+
+    def render_tree(self, max_depth: Optional[int] = None) -> str:
+        lines: List[str] = []
+
+        def walk(groups: Sequence["SpanGroup"], depth: int) -> None:
+            if max_depth is not None and depth >= max_depth:
+                return
+            for group in groups:
+                suffix = f" ×{group.count}" if group.count > 1 else ""
+                lines.append(
+                    "  " * depth
+                    + f"{group.name}{suffix}  total {_format_seconds(group.total)}"
+                    + f"  self {_format_seconds(group.self_time)}"
+                )
+                walk(group.children, depth + 1)
+
+        walk(self.span_tree(), 0)
+        return "\n".join(lines)
+
+    def summary(self, top: int = 10) -> str:
+        """The ``python -m repro.telemetry summarize`` report body."""
+        pids = {span.get("pid") for span in self.spans if span.get("pid") is not None}
+        parts: List[str] = []
+        parts.append(f"{len(self.spans)} span(s) from {len(pids) or 1} process(es)")
+        tree = self.render_tree()
+        if tree:
+            parts.append("")
+            parts.append("Span tree (siblings grouped by name):")
+            parts.append(tree)
+        spots = self.hotspots(top=top)
+        if spots:
+            parts.append("")
+            parts.append(f"Top {len(spots)} hotspots by self time:")
+            width = max(len(name) for name, _, _, _ in spots)
+            for rank, (name, count, total, self_time) in enumerate(spots, start=1):
+                parts.append(
+                    f"{rank:3d}. {name.ljust(width)}  ×{count:<5d}"
+                    f" self {_format_seconds(self_time):>9}  total {_format_seconds(total):>9}"
+                )
+        metrics = self.to_prometheus()
+        if metrics:
+            parts.append("")
+            parts.append("Metrics:")
+            parts.append(metrics.rstrip("\n"))
+        return "\n".join(parts)
+
+
+class SpanGroup:
+    """Aggregated siblings of one span name at one tree level."""
+
+    __slots__ = ("name", "count", "total", "self_time", "children")
+
+    def __init__(self, name: str, count: int, total: float, self_time: float, children: List["SpanGroup"]):
+        self.name = name
+        self.count = count
+        self.total = total
+        self.self_time = self_time
+        self.children = children
+
+
+def _group_spans(
+    spans: Sequence[Dict[str, Any]],
+    children: Dict[Optional[str], List[Dict[str, Any]]],
+) -> List[SpanGroup]:
+    buckets: Dict[str, List[Dict[str, Any]]] = {}
+    order: List[str] = []
+    for span in sorted(spans, key=lambda span: float(span.get("start", 0.0))):
+        name = str(span.get("name", ""))
+        if name not in buckets:
+            buckets[name] = []
+            order.append(name)
+        buckets[name].append(span)
+    groups: List[SpanGroup] = []
+    for name in order:
+        members = buckets[name]
+        total = sum(float(span.get("duration", 0.0)) for span in members)
+        descendants: List[Dict[str, Any]] = []
+        for span in members:
+            descendants.extend(children.get(span.get("span_id"), []))
+        child_groups = _group_spans(descendants, children)
+        child_total = sum(group.total for group in child_groups)
+        groups.append(SpanGroup(name, len(members), total, max(0.0, total - child_total), child_groups))
+    groups.sort(key=lambda group: group.total, reverse=True)
+    return groups
+
+
+def _num(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

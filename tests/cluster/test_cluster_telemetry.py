@@ -1,0 +1,96 @@
+"""Fleet telemetry: worker spans piggyback onto one merged coordinator snapshot.
+
+The cluster's observability contract (PR 6): when the coordinator process
+has telemetry attached, the WELCOME frame asks workers to buffer spans in
+memory, each RESULT frame carries the drained blob back, and the
+coordinator's snapshot covers the whole fleet — per-worker ``cluster.task``
+spans, dispatch/reassign counters, and (for a streaming tally) the tally
+phase spans and queue-depth high-water marks — in one trace file an
+operator can feed to ``python -m repro.telemetry summarize``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+import cluster_tasks
+
+from repro import telemetry
+from repro.election import ElectionConfig, VotegralElection
+from repro.runtime.executor import executor_from_spec
+from repro.telemetry import TelemetrySnapshot
+from repro.telemetry.__main__ import summarize
+
+PHASES = {"tally.sig-check", "tally.mix", "tally.tag", "tally.join", "tally.decrypt"}
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    yield
+    telemetry.configure("off")
+    os.environ.pop("REPRO_TELEMETRY", None)
+
+
+def test_cluster_tally_produces_one_merged_snapshot(tmp_path):
+    """The acceptance path: cluster:2 + stream + jsonl -> one fleet trace."""
+    trace = tmp_path / "trace.jsonl"
+    config = ElectionConfig(
+        num_voters=4, num_mixers=2, proof_rounds=2,
+        executor_spec="cluster:2", pipeline_spec="stream:2",
+        telemetry_spec=f"jsonl:{trace}",
+    )
+    election = VotegralElection(config)
+    try:
+        outcome = election.run()
+        assert outcome.counts_match_intent
+    finally:
+        election.executor.close()
+        telemetry.configure("off")  # detach flushes coordinator aggregates
+
+    snapshot = TelemetrySnapshot.from_jsonl(str(trace))
+    # All five tally phases, traced through the streaming schedule.
+    assert PHASES <= set(snapshot.span_names())
+    # Per-worker task spans arrived piggybacked on RESULT frames and were
+    # re-labelled by the coordinator on ingest: both workers are visible.
+    task_workers = {span["attrs"].get("worker") for span in snapshot.spans_named("cluster.task")}
+    assert task_workers == {"local-0", "local-1"}
+    # Coordinator scheduling counters, including the zero-valued series a
+    # healthy run pre-registers (reassign 0 is a statement, not an absence).
+    assert snapshot.counter_total("cluster.enroll") == 2
+    assert snapshot.counter_total("cluster.dispatch") > 0
+    assert ("cluster.reassign", ()) in snapshot.counters
+    assert snapshot.counter_total("cluster.reassign") == 0
+    # The streaming pipeline's bounded queues reported their high-water mark.
+    assert snapshot.gauge_high_water("pipeline.queue.depth") >= 1
+    # And the operator-facing summary renders the whole fleet.
+    report = summarize(str(trace))
+    assert "cluster.task" in report
+    assert "repro_cluster_dispatch_total" in report
+
+
+def test_worker_kill_mid_shard_keeps_survivor_spans_in_snapshot():
+    """Kill one worker mid-shard: the group completes on the survivor, the
+    reassignment is counted, and the survivor's spans still merge."""
+    telemetry.configure("mem", propagate=False)
+    executor = executor_from_spec("cluster:2")
+    try:
+        executor.warm()
+        victim = executor.worker_processes[0]
+        threading.Timer(0.25, victim.kill).start()
+        results = executor.starmap(cluster_tasks.slow_echo, [(i, 0.05) for i in range(40)])
+        assert results == list(range(40))
+
+        snapshot = telemetry.snapshot()
+        # The victim's death was observed and its in-flight shards moved.
+        assert snapshot.counter_total("cluster.worker.lost") >= 1
+        assert snapshot.counter_total("cluster.reassign") >= 1
+        # The survivor's task spans kept arriving after the kill.
+        task_workers = {span["attrs"].get("worker") for span in snapshot.spans_named("cluster.task")}
+        assert "local-1" in task_workers
+        served = len(snapshot.spans_named("cluster.task"))
+        assert served >= 8  # the fan-out produced 8 chunks; all were traced
+    finally:
+        executor.close()

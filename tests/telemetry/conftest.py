@@ -1,0 +1,21 @@
+"""Telemetry test hygiene: never leak an attached sink between tests.
+
+Telemetry state is deliberately process-global (instrumented modules resolve
+it lazily), so every test in this package detaches whatever it configured —
+including the ``REPRO_TELEMETRY`` environment propagation — on the way out.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    yield
+    telemetry.configure("off")
+    os.environ.pop("REPRO_TELEMETRY", None)
