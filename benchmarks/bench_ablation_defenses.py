@@ -17,9 +17,7 @@ envelope-stuffing success probability with and without duplicate detection.
 
 from __future__ import annotations
 
-import secrets
 
-import pytest
 
 from repro.bench.harness import ResultTable
 from repro.security.analysis import iv_adversary_success_bound, kiosk_undetected_probability

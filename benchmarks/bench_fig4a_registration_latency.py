@@ -12,9 +12,8 @@ from __future__ import annotations
 import statistics
 from typing import Dict, List
 
-import pytest
 
-from repro.bench.harness import ResultTable, format_seconds
+from repro.bench.harness import ResultTable
 from repro.peripherals.clock import Component
 from repro.peripherals.hardware import HARDWARE_PROFILES
 from repro.registration.protocol import run_registration

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Dict
 
-import pytest
 
 from repro.bench.harness import ResultTable
 from repro.peripherals.clock import Component

@@ -8,7 +8,6 @@ target voters (the reason the paper calls repeated attacks "negligible").
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.harness import ResultTable
 from repro.security.analysis import (

@@ -9,7 +9,6 @@ kernel constants can be sanity-checked against the genuine code path.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.harness import ResultTable, emit_bench_json, format_seconds
 from repro.election import ElectionConfig, VotegralElection

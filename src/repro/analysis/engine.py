@@ -1,0 +1,339 @@
+"""Lint engine: findings, inline suppression, baseline, and the file walker.
+
+The engine is rule-agnostic.  A rule is any object with
+
+- ``rule_id`` — ``"REPnnn"``,
+- ``summary`` — one line for ``--list-rules``,
+- ``rationale`` — why the rule exists (rendered in docs and JSON output),
+- ``check(context) -> Iterable[Finding]`` — pure function of one parsed file.
+
+Rules register themselves in :mod:`repro.analysis.rules`; which rules apply
+to which file is the policy's job (:mod:`repro.analysis.policy`), not the
+engine's.
+
+Suppression has exactly two channels, both reviewable in diffs:
+
+- **Inline**: a ``# repro: noqa[REP004]`` (or ``# repro: noqa[REP001,REP002]``,
+  or blanket ``# repro: noqa``) comment on the offending line.  Use for
+  intentional, locally-explainable exceptions — the comment sits next to the
+  code it excuses.
+- **Baseline**: ``analysis-baseline.json`` entries keyed by a line-drift-proof
+  fingerprint ``(rule, path, stripped source line)``.  Use for documented
+  false positives that have no natural inline anchor.  Each entry carries a
+  ``justification`` string; the CLI refuses entries without one.
+
+Everything else is a failure: the CLI exits nonzero on any finding that is
+neither suppressed nor baselined, and reports baseline entries that no
+longer match anything (so the baseline only ever shrinks).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "Baseline",
+    "Finding",
+    "analyze_file",
+    "analyze_paths",
+    "policy_path",
+]
+
+# `# repro: noqa` with an optional [RULE,RULE] list.  Matched anywhere in the
+# physical line so it composes with other trailing comments.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str  # policy-normalized, e.g. "repro/cluster/worker.py"
+    line: int  # 1-based
+    col: int  # 0-based, as reported by ast
+    message: str
+    snippet: str  # the stripped physical source line (fingerprint component)
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Identity that survives unrelated edits moving the line around."""
+        return (self.rule_id, self.path, self.snippet)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class AnalysisContext:
+    """Everything a rule may look at for one file.  Parsed once, shared."""
+
+    path: str  # policy-normalized path
+    tree: ast.Module
+    source_lines: Sequence[str]  # physical lines, no trailing newlines
+    filename: str  # the on-disk path, for error messages only
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.source_lines):
+            return self.source_lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule_id=rule_id,
+            path=self.path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=self.snippet(line),
+        )
+
+
+def parse_noqa(source_lines: Sequence[str]) -> Dict[int, Optional[Set[str]]]:
+    """Map 1-based line number → suppressed rule ids (``None`` = all rules)."""
+    suppressions: Dict[int, Optional[Set[str]]] = {}
+    for index, line in enumerate(source_lines, start=1):
+        if "repro:" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[index] = None  # blanket
+        else:
+            ids = {part.strip().upper() for part in rules.split(",") if part.strip()}
+            existing = suppressions.get(index, set())
+            if existing is None:
+                continue  # a blanket noqa on the same line already wins
+            suppressions[index] = existing | ids
+    return suppressions
+
+
+def is_suppressed(finding: Finding, suppressions: Dict[int, Optional[Set[str]]]) -> bool:
+    rules = suppressions.get(finding.line, _MISSING)
+    if rules is _MISSING:
+        return False
+    return rules is None or finding.rule_id in rules
+
+
+_MISSING: Any = object()
+
+
+# ------------------------------------------------------------------ baseline
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or missing a justification."""
+
+
+@dataclass
+class Baseline:
+    """Checked-in fingerprints of accepted findings, each with a reason."""
+
+    entries: Dict[Tuple[str, str, str], str] = field(default_factory=dict)
+    path: Optional[str] = None
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+        if not isinstance(raw, dict) or not isinstance(raw.get("findings"), list):
+            raise BaselineError(f"{path}: expected {{'version': 1, 'findings': [...]}}")
+        entries: Dict[Tuple[str, str, str], str] = {}
+        for item in raw["findings"]:
+            try:
+                key = (item["rule"], item["path"], item["snippet"])
+                justification = item["justification"]
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(f"{path}: malformed baseline entry {item!r}") from exc
+            if not isinstance(justification, str) or not justification.strip():
+                raise BaselineError(
+                    f"{path}: baseline entry for {key[0]} at {key[1]} needs a non-empty justification"
+                )
+            entries[key] = justification
+        return cls(entries=entries, path=path)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding], justification: str) -> "Baseline":
+        return cls(entries={f.fingerprint(): justification for f in findings})
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.entries
+
+    def unmatched(self, findings: Iterable[Finding]) -> List[Tuple[str, str, str]]:
+        """Baseline entries no finding claimed — stale, should be deleted."""
+        seen = {f.fingerprint() for f in findings}
+        return sorted(key for key in self.entries if key not in seen)
+
+    def dump(self, path: str) -> None:
+        findings = [
+            {"rule": rule, "path": file_path, "snippet": snippet, "justification": why}
+            for (rule, file_path, snippet), why in sorted(self.entries.items())
+        ]
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"version": 1, "findings": findings}, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+
+# ------------------------------------------------------------------ reports
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one analyzer run over a set of paths."""
+
+    findings: List[Finding] = field(default_factory=list)  # new (gate-failing)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed_count: int = 0
+    stale_baseline: List[Tuple[str, str, str]] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: Set[str] = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.stale_baseline
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "rules_run": sorted(self.rules_run),
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "suppressed_count": self.suppressed_count,
+            "stale_baseline": [
+                {"rule": rule, "path": path, "snippet": snippet}
+                for rule, path, snippet in self.stale_baseline
+            ],
+        }
+
+
+# ------------------------------------------------------------------ walking
+
+
+def policy_path(filename: str) -> str:
+    """Normalize an on-disk path to the policy's repo-relative grammar.
+
+    ``/root/repo/src/repro/cluster/worker.py`` → ``repro/cluster/worker.py``;
+    paths outside a ``src`` layout keep their last recognizable anchor
+    (``tests/...``, ``benchmarks/...``) or fall back to the basename chain.
+    """
+    parts = os.path.abspath(filename).replace(os.sep, "/").split("/")
+    for anchor in ("repro", "tests", "benchmarks"):
+        if anchor in parts:
+            index = parts.index(anchor)
+            # "repro" must be a package dir, not e.g. a repo checkout name:
+            # require the anchor to be followed by something.
+            if index < len(parts) - 1 or parts[-1] == anchor:
+                return "/".join(parts[index:])
+    return "/".join(parts[-2:]) if len(parts) >= 2 else parts[-1]
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+                files.extend(os.path.join(root, n) for n in sorted(names) if n.endswith(".py"))
+        elif path.endswith(".py"):
+            files.append(path)
+    return files
+
+
+def analyze_file(
+    filename: str,
+    rules: Sequence[Any],
+    *,
+    path: Optional[str] = None,
+    source: Optional[str] = None,
+) -> List[Finding]:
+    """Run ``rules`` over one file; returns active findings (noqa applied)."""
+    active, _ = _analyze_one(filename, rules, path=path, source=source)
+    return active
+
+
+def _analyze_one(
+    filename: str,
+    rules: Sequence[Any],
+    *,
+    path: Optional[str] = None,
+    source: Optional[str] = None,
+) -> Tuple[List[Finding], int]:
+    """(active findings, count of findings silenced by inline noqa)."""
+    if source is None:
+        with tokenize.open(filename) as handle:
+            source = handle.read()
+    normalized = path if path is not None else policy_path(filename)
+    tree = ast.parse(source, filename=filename)
+    source_lines = source.splitlines()
+    context = AnalysisContext(
+        path=normalized, tree=tree, source_lines=source_lines, filename=filename
+    )
+    suppressions = parse_noqa(source_lines)
+    active: List[Finding] = []
+    silenced = 0
+    for rule in rules:
+        for finding in rule.check(context):
+            if is_suppressed(finding, suppressions):
+                silenced += 1
+            else:
+                active.append(finding)
+    active.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    return active, silenced
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    *,
+    baseline: Optional[Baseline] = None,
+    rules_for: Any = None,
+) -> AnalysisReport:
+    """Analyze every ``*.py`` under ``paths`` with the per-path policy.
+
+    ``rules_for`` maps a policy path to the rule objects that apply; it
+    defaults to :func:`repro.analysis.policy.rules_for_path`.
+    """
+    if rules_for is None:
+        from repro.analysis.policy import rules_for_path as rules_for  # noqa: F811 - default wiring
+
+    report = AnalysisReport()
+    all_findings: List[Finding] = []
+    for filename in iter_python_files(paths):
+        normalized = policy_path(filename)
+        rules = rules_for(normalized)
+        if not rules:
+            continue
+        report.files_checked += 1
+        report.rules_run.update(rule.rule_id for rule in rules)
+        findings, silenced = _analyze_one(filename, rules, path=normalized)
+        report.suppressed_count += silenced
+        for finding in findings:
+            all_findings.append(finding)
+            if baseline is not None and baseline.matches(finding):
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+    if baseline is not None:
+        report.stale_baseline = baseline.unmatched(all_findings)
+    return report

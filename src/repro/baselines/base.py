@@ -5,8 +5,8 @@ from __future__ import annotations
 import abc
 import enum
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.crypto.elgamal import ElGamal
 from repro.crypto.group import Group

@@ -3,13 +3,12 @@
 from __future__ import annotations
 
 import secrets
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.crypto.dkg import DistributedKeyGeneration
 from repro.crypto.elgamal import ElGamal
 from repro.crypto.group import Group
 from repro.crypto.hashing import sha256
-from repro.crypto.modp_group import testing_group
 from repro.crypto.schnorr import schnorr_keygen, schnorr_sign
 from repro.election.config import ElectionConfig
 from repro.ledger.api import board_from_spec

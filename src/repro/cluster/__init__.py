@@ -22,6 +22,8 @@ pickle codec trusts everyone inside — run clusters on trusted networks
 only (see the README's multi-node section).
 """
 
+from typing import Any
+
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.executor import RemoteExecutor, remote_executor_from_spec, spawn_local_worker
 from repro.cluster.feeds import CursorAckTracker, cluster_valid_ballots, supports_cursor_tasks
@@ -35,7 +37,7 @@ from repro.cluster.protocol import (
     send_frame,
 )
 
-def __getattr__(name):
+def __getattr__(name: str) -> Any:
     # WorkerDaemon is resolved lazily: eagerly importing repro.cluster.worker
     # here would race ``python -m repro.cluster.worker`` (runpy warns when the
     # module to run is already in sys.modules via its package import).

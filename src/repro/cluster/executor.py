@@ -31,7 +31,7 @@ import secrets
 import subprocess
 import sys
 import threading
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cluster.coordinator import (
     DEFAULT_ENROLL_TIMEOUT,
@@ -100,7 +100,7 @@ class RemoteExecutor(Executor):
         spawn_workers: int = 0,
         worker_executor_spec: str = "serial",
         task_timeout: Optional[float] = DEFAULT_TASK_TIMEOUT,
-    ):
+    ) -> None:
         if coordinator is None:
             coordinator = ClusterCoordinator(listen=listen, secret=secret, task_timeout=task_timeout)
         self.coordinator = coordinator
@@ -228,13 +228,19 @@ class RemoteExecutor(Executor):
             results.extend(shard)
         return results
 
-    def map(self, fn: Callable[[Any], Any], items, chunksize: Optional[int] = None) -> List[Any]:
+    def map(
+        self, fn: Callable[[Any], Any], items: Iterable[Any], chunksize: Optional[int] = None
+    ) -> List[Any]:
         return self._remote_fan_out("map", fn, items, chunksize)
 
-    def starmap(self, fn: Callable[..., Any], items, chunksize: Optional[int] = None) -> List[Any]:
+    def starmap(
+        self, fn: Callable[..., Any], items: Iterable[Any], chunksize: Optional[int] = None
+    ) -> List[Any]:
         return self._remote_fan_out("star", fn, items, chunksize)
 
-    def _run_chunks(self, applier, fn, chunks):
+    def _run_chunks(
+        self, applier: Callable[..., Any], fn: Callable[..., Any], chunks: Sequence[Any]
+    ) -> List[Any]:
         # Reached only by callers bypassing map/starmap with a custom applier;
         # translate the two runtime appliers, ship anything else as a call.
         if applier is _apply_chunk:

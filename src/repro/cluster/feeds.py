@@ -63,7 +63,7 @@ class CursorAckTracker:
     gap before them closes, exactly like TCP cumulative ACKs.
     """
 
-    def __init__(self, start: Cursor = GENESIS_CURSOR):
+    def __init__(self, start: Cursor = GENESIS_CURSOR) -> None:
         self._lock = threading.Lock()
         self._next_cursors: List[Cursor] = []
         self._acked: List[bool] = []

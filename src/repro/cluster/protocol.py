@@ -125,7 +125,7 @@ PICKLE_CODEC = PickleCodec()
 class _RestrictedUnpickler(pickle.Unpickler):
     """Refuses every global: only primitive containers can decode."""
 
-    def find_class(self, module, name):  # noqa: ARG002 - signature fixed by pickle
+    def find_class(self, module: str, name: str) -> Any:  # noqa: ARG002 - signature fixed by pickle
         raise pickle.UnpicklingError(
             f"handshake frames may not reference globals ({module}.{name})"
         )

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import secrets
 import socket
 import sys
 import threading
@@ -73,7 +74,7 @@ class WorkerDaemon:
         executor: Optional[Executor] = None,
         worker_id: Optional[str] = None,
         codec: Codec = PICKLE_CODEC,
-    ):
+    ) -> None:
         self.address = address
         self.secret = secret
         self.executor = executor if executor is not None else executor_from_spec("serial")
@@ -88,13 +89,15 @@ class WorkerDaemon:
     # ------------------------------------------------------------------ plumbing
 
     def _send(self, frame: Frame) -> None:
-        with self._send_lock:
+        # Leaf lock: serializes frame writes from the serve and heartbeat
+        # threads; nothing blocks under it but the socket write itself.
+        with self._send_lock:  # repro: noqa[REP004]
             sock = self._sock
             if sock is None:
                 # close() ran concurrently (e.g. the heartbeat thread lost
                 # the race with shutdown); report it as a transport error.
                 raise ClusterError("worker connection is closed")
-            send_frame(sock, frame, self.codec)
+            send_frame(sock, frame, self.codec)  # repro: noqa[REP004]
 
     def _heartbeat_loop(self, interval: float) -> None:
         while not self._stop.wait(interval):
@@ -132,7 +135,9 @@ class WorkerDaemon:
                 "does not authenticate — refusing to enroll"
             )
         nonce = challenge.get("nonce") or b""
-        my_nonce = os.urandom(16)
+        # Handshake nonces are key material: draw from the CSPRNG seam the
+        # determinism rule (REP002) sanctions, not ambient os.urandom.
+        my_nonce = secrets.token_bytes(16)
         slots = self.executor.num_workers
         hello = {
             "protocol_version": PROTOCOL_VERSION,
@@ -197,6 +202,8 @@ class WorkerDaemon:
 
     def _serve(self) -> None:
         sock = self._sock  # stable across a concurrent close()
+        if sock is None:
+            raise ClusterError("worker connection is closed")
         while not self._stop.is_set():
             frame = recv_frame(sock, self.codec)
             if frame.kind is FrameKind.TASK:

@@ -231,7 +231,13 @@ def _is_probable_prime(n: int, rounds: int = 20) -> bool:
         r += 1
     import random
 
-    witnesses = small_primes + [random.randrange(2, n - 1) for _ in range(rounds)]
+    # Witnesses are drawn from an RNG seeded by the candidate itself: the
+    # same n always gets the same witness set, so a primality verdict is
+    # replayable across processes and schedules (REP002).  Soundness is
+    # unchanged — Miller-Rabin only needs witnesses the adversary cannot
+    # choose *after* seeing n, and group moduli here are fixed constants.
+    rng = random.Random(n)
+    witnesses = small_primes + [rng.randrange(2, n - 1) for _ in range(rounds)]
     for a in witnesses:
         x = pow(a, d, n)
         if x in (1, n - 1):

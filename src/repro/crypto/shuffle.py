@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.crypto.elgamal import ElGamal, ElGamalCiphertext
-from repro.crypto.group import Group, GroupElement
+from repro.crypto.group import GroupElement
 from repro.crypto.hashing import sha256
 from repro.errors import VerificationError
 

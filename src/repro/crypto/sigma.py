@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.crypto.hashing import scalar_bytes
 from repro.errors import ProtocolError

@@ -11,8 +11,8 @@ from __future__ import annotations
 import random
 import secrets
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.audit.api import AuditReport
 from repro.audit.checks import audit_election

@@ -31,7 +31,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:
+    from repro.audit.api import AuditReport
 
 from repro.errors import LedgerError
 from repro.ledger.log import AppendOnlyLog
@@ -210,7 +213,7 @@ class LedgerBackend(abc.ABC):
     def __enter__(self) -> "LedgerBackend":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
 
@@ -245,7 +248,7 @@ class BoardView:
 
     __slots__ = ("_backend",)
 
-    def __init__(self, backend: LedgerBackend):
+    def __init__(self, backend: LedgerBackend) -> None:
         if backend.api_version > LEDGER_API_VERSION:
             raise LedgerError(
                 f"backend speaks ledger API v{backend.api_version}, "
@@ -335,7 +338,7 @@ class BoardView:
     def ballot_log(self) -> AppendOnlyLog:
         return self._backend.ballot_log
 
-    def audit_chains(self) -> "object":
+    def audit_chains(self) -> "AuditReport":
         """Audit every hash chain; returns an :class:`~repro.audit.api.AuditReport`.
 
         One ``ledger-chain`` check per sub-ledger (plus the ingest-batch
@@ -364,7 +367,7 @@ def as_board_view(board: Union["BoardView", LedgerBackend, object]) -> BoardView
     raise LedgerError(f"cannot derive a BoardView from {type(board).__name__}")
 
 
-def board_from_spec(spec: str, group=None) -> LedgerBackend:
+def board_from_spec(spec: str, group: Optional[Any] = None) -> LedgerBackend:
     """Build a ledger backend from a config string (mirrors ``executor_from_spec``).
 
     Accepted forms::

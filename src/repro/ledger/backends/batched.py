@@ -31,7 +31,7 @@ from __future__ import annotations
 import asyncio
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, cast
 
 from repro import telemetry
 from repro.crypto.hashing import sha256
@@ -42,6 +42,7 @@ from repro.ledger.records import (
     BallotRecord,
     EnvelopeCommitmentRecord,
     EnvelopeUsageRecord,
+    LedgerRecord,
     RegistrationRecord,
 )
 
@@ -89,15 +90,15 @@ class BatchedBoard(LedgerBackend):
         inner: LedgerBackend,
         batch_size: int = DEFAULT_BATCH_SIZE,
         flush_interval: Optional[float] = None,
-    ):
+    ) -> None:
         if batch_size < 1:
             raise LedgerError(f"batch size must be positive, got {batch_size}")
         self.inner = inner
         self.batch_size = batch_size
         self.flush_interval = flush_interval
         self._lock = threading.RLock()
-        self._pending: List[Tuple[int, object]] = []
-        self._pending_challenges: set = set()
+        self._pending: List[Tuple[int, LedgerRecord]] = []
+        self._pending_challenges: Set[bytes] = set()
         self._pending_active: Dict[str, RegistrationRecord] = {}
         self._batches: List[BatchSummary] = []
         self._batch_digest = _GENESIS_BATCH
@@ -146,7 +147,7 @@ class BatchedBoard(LedgerBackend):
             with telemetry.span("ledger.flush", backend="batched", records=len(pending)):
                 self._flush_locked(pending)
 
-    def _flush_locked(self, pending: List[Tuple[int, object]]) -> None:
+    def _flush_locked(self, pending: List[Tuple[int, LedgerRecord]]) -> None:
         payloads = [record.payload() for _, record in pending]
         # Replay in order; runs of consecutive ballots take the bulk path,
         # reusing the payloads the batch digest will hash below.
@@ -155,8 +156,11 @@ class BatchedBoard(LedgerBackend):
         run_payloads: List[bytes] = []
         try:
             for (kind, record), payload in zip(pending, payloads):
+                # The kind tag (set by the typed append commands) identifies
+                # the union member, which mypy cannot narrow from — hence the
+                # casts.
                 if kind == _BALLOT:
-                    run.append(record)
+                    run.append(cast(BallotRecord, record))
                     run_payloads.append(payload)
                     continue
                 if run:
@@ -164,11 +168,13 @@ class BatchedBoard(LedgerBackend):
                     applied += len(run)
                     run, run_payloads = [], []
                 if kind == _REGISTRATION:
-                    self.inner.append_registration(record)
+                    self.inner.append_registration(cast(RegistrationRecord, record))
                 elif kind == _ENVELOPE_COMMITMENT:
-                    self.inner.append_envelope_commitment(record)
+                    self.inner.append_envelope_commitment(
+                        cast(EnvelopeCommitmentRecord, record)
+                    )
                 else:
-                    self.inner.append_envelope_usage(record)
+                    self.inner.append_envelope_usage(cast(EnvelopeUsageRecord, record))
                 applied += 1
             if run:
                 self.inner.append_ballots(run, payloads=run_payloads)
@@ -202,13 +208,17 @@ class BatchedBoard(LedgerBackend):
     def _rebuild_pending_caches(self) -> None:
         """Recompute the eager-validation caches from the surviving buffer."""
         self._pending_challenges = {
-            record.challenge_hash for kind, record in self._pending if kind == _ENVELOPE_USAGE
+            cast(EnvelopeUsageRecord, record).challenge_hash
+            for kind, record in self._pending
+            if kind == _ENVELOPE_USAGE
         }
         self._pending_active = {
-            record.voter_id: record for kind, record in self._pending if kind == _REGISTRATION
+            cast(RegistrationRecord, record).voter_id: cast(RegistrationRecord, record)
+            for kind, record in self._pending
+            if kind == _REGISTRATION
         }
 
-    def _buffer(self, kind: int, record) -> int:
+    def _buffer(self, kind: int, record: LedgerRecord) -> int:
         seq = self._counts[kind]
         self._counts[kind] = seq + 1
         self._pending.append((kind, record))
@@ -419,7 +429,7 @@ class AsyncIngestionFrontend:
     I/O.
     """
 
-    def __init__(self, board: LedgerBackend):
+    def __init__(self, board: LedgerBackend) -> None:
         self._board = board
 
     async def post_ballot(self, record: BallotRecord) -> int:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro import telemetry
 from repro.crypto.hashing import sha256
@@ -51,7 +51,7 @@ class MemoryBackend(LedgerBackend):
         self._ballot_log = AppendOnlyLog("L_V")
 
         self._eligible: List[str] = []
-        self._eligible_set: set = set()
+        self._eligible_set: Set[str] = set()
 
         self._registrations: List[RegistrationRecord] = []
         self._registrations_by_voter: Dict[str, List[RegistrationRecord]] = {}

@@ -15,8 +15,7 @@ exercising the full SQL path in tests without touching disk.
 from __future__ import annotations
 
 import sqlite3
-import threading
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.crypto.group import Group
 from repro.errors import LedgerError
@@ -72,7 +71,7 @@ class SQLiteBackend(MemoryBackend):
     #: to this backend instead of the in-memory parent.
     backend_name = "sqlite"
 
-    def __init__(self, path: str = ":memory:", group: Optional[Group] = None):
+    def __init__(self, path: str = ":memory:", group: Optional[Group] = None) -> None:
         super().__init__()
         self._path = path
         self._group = group
@@ -93,7 +92,7 @@ class SQLiteBackend(MemoryBackend):
     # ------------------------------------------------------------- restore
 
     def _restore(self) -> None:
-        commands = []
+        commands: List[Tuple[int, str, Tuple[Any, ...]]] = []
         for row in self._conn.execute("SELECT commit_seq, voter_id FROM roll"):
             commands.append((row[0], "roll", row[1:]))
         for row in self._conn.execute(
@@ -229,6 +228,6 @@ class SQLiteBackend(MemoryBackend):
 
     def close(self) -> None:
         with self._lock:
-            if self._conn is not None:
-                self._conn.close()
-                self._conn = None
+            # sqlite3 connections close idempotently, so repeated close()
+            # calls (the LedgerBackend contract) need no sentinel dance.
+            self._conn.close()

@@ -22,7 +22,7 @@ identically on every backend.
 from __future__ import annotations
 
 import warnings
-from typing import List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 from repro.ledger.api import (
     BallotPage,
@@ -52,7 +52,7 @@ __all__ = [
 
 #: Legacy private attributes, now backend state.  Accessing them on the
 #: facade returns a snapshot and warns once per attribute per process.
-_DEPRECATED_INTERNALS = {
+_DEPRECATED_INTERNALS: Dict[str, Callable[[LedgerBackend], Any]] = {
     "_ballots": lambda backend: list(backend.read_ballots().records),
     "_registrations": lambda backend: backend.registration_records(),
     "_active_registration": lambda backend: {
@@ -62,7 +62,7 @@ _DEPRECATED_INTERNALS = {
     "_envelope_commitments": lambda backend: backend.envelope_commitments(),
     "_used_challenges": lambda backend: backend.used_challenges(),
 }
-_warned_internals = set()
+_warned_internals: Set[str] = set()
 
 
 class BulletinBoard:
@@ -91,7 +91,7 @@ class BulletinBoard:
 
     # Deprecation shim ----------------------------------------------------------
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         if name != "_backend" and name in _DEPRECATED_INTERNALS:
             if name not in _warned_internals:
                 _warned_internals.add(name)
@@ -104,7 +104,7 @@ class BulletinBoard:
             return _DEPRECATED_INTERNALS[name](self.__dict__["_backend"])
         raise AttributeError(f"{type(self).__name__!r} object has no attribute {name!r}")
 
-    def __setattr__(self, name: str, value) -> None:
+    def __setattr__(self, name: str, value: Any) -> None:
         # Reads of legacy internals get a warning + snapshot; writes would
         # silently shadow the shim with a stale list, so they are refused.
         if name in _DEPRECATED_INTERNALS:
@@ -233,5 +233,5 @@ class BulletinBoard:
     def __enter__(self) -> "BulletinBoard":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()

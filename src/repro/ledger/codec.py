@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.crypto.group import Group, GroupElement
+from repro.crypto.group import Group
 from repro.crypto.hashing import scalar_bytes
 from repro.crypto.schnorr import SchnorrSignature
 from repro.ledger.records import (

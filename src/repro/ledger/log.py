@@ -11,7 +11,7 @@ scales we simulate).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
 from repro.crypto.hashing import sha256
@@ -58,7 +58,7 @@ class InclusionProof:
 class AppendOnlyLog:
     """An append-only log with hash chaining and audit helpers."""
 
-    def __init__(self, name: str = "ledger"):
+    def __init__(self, name: str = "ledger") -> None:
         self.name = name
         self._entries: List[LogEntry] = []
         self._observers: List[Callable[[LogEntry], None]] = []

@@ -17,6 +17,7 @@ produce bit-identical logs regardless of how they store the records.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
 from repro.crypto.group import GroupElement
 from repro.crypto.hashing import scalar_bytes, sha256
@@ -100,3 +101,12 @@ class BallotRecord:
             self.ciphertext_c2.to_bytes(),
             self.signature.to_bytes(),
         )
+
+
+#: Any append command the board accepts — what write-behind buffers hold.
+LedgerRecord = Union[
+    RegistrationRecord,
+    EnvelopeCommitmentRecord,
+    EnvelopeUsageRecord,
+    BallotRecord,
+]

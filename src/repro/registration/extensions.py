@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.crypto.elgamal import ElGamal, ElGamalCiphertext
+from repro.crypto.elgamal import ElGamal
 from repro.crypto.group import Group, GroupElement
 from repro.crypto.hashing import sha256
 from repro.crypto.schnorr import (

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 import secrets
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.crypto.chaum_pedersen import (

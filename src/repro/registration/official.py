@@ -15,7 +15,7 @@ The official performs two tasks (Fig. 8 and Fig. 10):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.crypto.group import Group, GroupElement
 from repro.crypto.hashing import sha256

@@ -13,12 +13,12 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.crypto.group import Group
-from repro.errors import ProtocolError, RegistrationError
+from repro.errors import ProtocolError
 from repro.ledger.records import RegistrationRecord
 from repro.peripherals.clock import LatencyLedger
 from repro.peripherals.hardware import HardwareProfile, hardware_profile
 from repro.registration.kiosk import Kiosk, KioskSession
-from repro.registration.materials import Envelope, PaperCredential
+from repro.registration.materials import Envelope
 from repro.registration.official import RegistrationOfficial
 from repro.registration.setup import ElectionSetup
 from repro.registration.vsd import ActivationReport, VoterSupportingDevice

@@ -20,7 +20,7 @@ Appendix J.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.crypto.chaum_pedersen import (
     ChaumPedersenStatement,

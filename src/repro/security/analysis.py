@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import comb
-from typing import Dict, Mapping, Sequence
+from typing import Dict, Mapping
 
 
 def _stuffing_success_for_k(num_envelopes: int, k: int, credential_distribution: Mapping[int, float]) -> float:

@@ -18,8 +18,8 @@
 from __future__ import annotations
 
 import secrets
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.crypto.group import Group
 from repro.election.config import ElectionConfig

@@ -18,7 +18,7 @@ Two concrete attacks from §5.1 are implemented against the real kiosk code:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.crypto.chaum_pedersen import simulate_chaum_pedersen
 from repro.crypto.schnorr import SigningKeyPair, schnorr_keygen, schnorr_sign

@@ -17,7 +17,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro import telemetry
 from repro.crypto.dkg import DistributedKeyGeneration
 from repro.crypto.elgamal import ElGamalCiphertext
-from repro.crypto.group import GroupElement
 from repro.crypto.tagging import TaggingAuthority
 from repro.ledger.records import BallotRecord
 from repro.runtime.executor import Executor

@@ -10,7 +10,6 @@ input- or output-side mapping per Fiat–Shamir coin) is identical.
 
 from __future__ import annotations
 
-import secrets
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 

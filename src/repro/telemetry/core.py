@@ -80,7 +80,9 @@ class SpanHandle:
 
     __slots__ = ("name", "attrs", "span_id", "parent_id", "start", "end", "_telemetry")
 
-    def __init__(self, name: str, attrs: Dict[str, Any], telemetry: Optional["Telemetry"]):
+    def __init__(
+        self, name: str, attrs: Dict[str, Any], telemetry: Optional["Telemetry"]
+    ) -> None:
         self.name = name
         self.attrs = attrs
         self._telemetry = telemetry

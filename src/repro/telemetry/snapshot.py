@@ -257,7 +257,9 @@ class SpanGroup:
 
     __slots__ = ("name", "count", "total", "self_time", "children")
 
-    def __init__(self, name: str, count: int, total: float, self_time: float, children: List["SpanGroup"]):
+    def __init__(
+        self, name: str, count: int, total: float, self_time: float, children: List["SpanGroup"]
+    ) -> None:
         self.name = name
         self.count = count
         self.total = total

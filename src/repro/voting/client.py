@@ -10,7 +10,7 @@ a fake credential is itself fake).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.crypto.group import Group, GroupElement
 from repro.crypto.schnorr import SigningKeyPair

@@ -20,7 +20,6 @@ from repro.audit.api import AuditPlan, BatchedVerifier, EagerVerifier, Streaming
 from repro.audit.checks import ballot_checks, cascade_checks, decryption_checks
 from repro.audit.evidence import decryption_transcript
 from repro.audit.api import Check
-from repro.crypto.dkg import DistributedKeyGeneration
 from repro.crypto.elgamal import ElGamal
 from repro.crypto.schnorr import schnorr_keygen
 from repro.crypto.tagging import TaggingAuthority

@@ -20,7 +20,6 @@ from repro.cluster.protocol import (
     FrameKind,
     expect_frame,
     hello_mac,
-    recv_frame,
     send_frame,
 )
 from repro.cluster.worker import WorkerDaemon, main as worker_main

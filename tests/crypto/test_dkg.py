@@ -3,7 +3,6 @@
 import pytest
 
 from repro.crypto.dkg import DistributedKeyGeneration
-from repro.crypto.elgamal import ElGamal
 from repro.errors import VerificationError
 
 

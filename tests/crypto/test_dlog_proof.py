@@ -1,6 +1,5 @@
 """Schnorr proofs of knowledge of a discrete log."""
 
-import pytest
 
 from repro.crypto.dlog_proof import DlogProof, prove_dlog, verify_dlog
 

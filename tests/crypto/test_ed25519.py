@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.crypto.ed25519 import Ed25519Element, ed25519_group, _BASE_X, _BASE_Y, _P, _Q
+from repro.crypto.ed25519 import ed25519_group, _BASE_X, _BASE_Y, _P, _Q
 
 
 class TestCurveConstants:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.crypto.elgamal import ElGamal, ElGamalCiphertext
+from repro.crypto.elgamal import ElGamal
 from repro.errors import VerificationError
 
 

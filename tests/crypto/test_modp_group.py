@@ -3,7 +3,6 @@
 import pytest
 
 from repro.crypto.modp_group import (
-    ModPElement,
     modp_group_2048,
     modp_group_256,
     testing_group,

@@ -1,6 +1,5 @@
 """Plaintext-equivalence tests (the Civitas/JCJ filtering primitive)."""
 
-import pytest
 
 from repro.crypto.elgamal import ElGamalCiphertext
 from repro.crypto.pet import (

@@ -1,6 +1,5 @@
 """Schnorr signatures."""
 
-import pytest
 
 from repro.crypto.ed25519 import ed25519_group
 from repro.crypto.schnorr import (

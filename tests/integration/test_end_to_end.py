@@ -1,6 +1,5 @@
 """Cross-module integration scenarios."""
 
-import pytest
 
 from repro.election import ElectionConfig, VotegralElection
 from repro.registration.protocol import RegistrationSession, run_registration

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import LedgerError
-from repro.ledger.log import AppendOnlyLog, LogEntry, LogHead
+from repro.ledger.log import AppendOnlyLog, LogEntry
 
 
 class TestAppend:

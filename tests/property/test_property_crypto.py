@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on the cryptographic substrate."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.crypto.chaum_pedersen import (

@@ -1,6 +1,5 @@
 """Property-based tests on the ledger, codec and tally invariants."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.crypto.modp_group import testing_group

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import VerificationError
 from repro.peripherals.clock import Component
-from repro.peripherals.hardware import hardware_profile
 from repro.registration.materials import CredentialState
 from repro.registration.protocol import RegistrationSession, run_registration
 from repro.registration.voter import Voter

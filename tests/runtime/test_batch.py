@@ -11,7 +11,6 @@ from repro.crypto.chaum_pedersen import (
     fiat_shamir_prove,
     simulate_chaum_pedersen,
 )
-from repro.crypto.elgamal import ElGamal
 from repro.crypto.schnorr import schnorr_keygen, schnorr_sign
 from repro.runtime.batch import (
     batch_chaum_pedersen_verify,

@@ -7,7 +7,6 @@ import json
 import pytest
 
 from repro.crypto.modp_group import modp_group_256, testing_group as toy_group
-from repro.runtime import precompute
 from repro.runtime.precompute import (
     AUTO_BUILD_THRESHOLD,
     FixedBaseTable,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.crypto.chaum_pedersen import chaum_pedersen_verify
-from repro.registration.kiosk import Kiosk
 from repro.registration.official import RegistrationOfficial
 from repro.registration.voter import Voter
 from repro.registration.vsd import VoterSupportingDevice

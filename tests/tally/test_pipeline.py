@@ -5,7 +5,7 @@ import pytest
 from repro.errors import TallyError
 from repro.registration.protocol import RegistrationSession
 from repro.registration.voter import Voter
-from repro.tally.decrypt import DecryptedVote, aggregate, decrypt_votes
+from repro.tally.decrypt import aggregate, decrypt_votes
 from repro.tally.pipeline import TallyPipeline, verify_tally
 from repro.voting.client import VotingClient
 
