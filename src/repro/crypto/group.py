@@ -23,7 +23,14 @@ import abc
 import hashlib
 import secrets
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.crypto.multiexp import (
+    GroupOps,
+    collapse_terms,
+    execute_plan,
+    plan_multi_exponentiation,
+)
 
 # An optional accelerator for generator exponentiations, installed by
 # :mod:`repro.runtime.precompute` (fixed-base tables).  The hook returns
@@ -163,8 +170,21 @@ class Group(abc.ABC):
     def decode_int(self, element: GroupElement, max_value: int = 10_000) -> int:
         """Brute-force the small discrete log of ``element`` base ``g``.
 
+        **Cost: O(max_value) group operations in the worst case.**  The probe
+        walks ``identity, g, g², …`` one multiplication at a time, and the
+        walk restarts from the identity on *every* call — there is no cache
+        shared between call sites, so decoding ``k`` elements costs
+        ``O(k · max_value)``.  Callers decoding many elements against the
+        same range (exponential-ElGamal tallies) should keep ``max_value``
+        as tight as the plaintext domain allows (e.g. ``num_options - 1``).
+
         Raises :class:`ValueError` if the value is not in [0, max_value].
         """
+        if max_value == 0:
+            # Short-circuit the degenerate range: no probe chain to walk.
+            if element == self.identity:
+                return 0
+            raise ValueError("element does not encode an integer in range")
         probe = self.identity
         g = self.generator
         for candidate in range(max_value + 1):
@@ -173,12 +193,62 @@ class Group(abc.ABC):
             probe = probe.operate(g)
         raise ValueError("element does not encode an integer in range")
 
-    def multi_exponentiate(self, bases: Iterable[GroupElement], scalars: Iterable[int]) -> GroupElement:
-        """Product of bases[i] ** scalars[i]."""
-        accumulator = self.identity
-        for base, scalar in zip(bases, scalars):
-            accumulator = accumulator.operate(base.exponentiate(scalar))
-        return accumulator
+    def multi_exponentiate(
+        self, bases: Sequence[GroupElement], scalars: Sequence[int]
+    ) -> GroupElement:
+        """Product of ``bases[i] ** scalars[i]`` via Straus/Pippenger.
+
+        The workhorse behind every random-linear-combination fold in
+        :mod:`repro.runtime.batch`: instead of one full exponentiation per
+        term, the shared squaring chain of an interleaved-window (Straus) or
+        bucket-method (Pippenger) evaluation brings the per-term cost down
+        to ``~|q|/w`` group operations (see :mod:`repro.crypto.multiexp`
+        for the algorithms and the size-based crossover).
+
+        Semantics match the naive fold exactly: scalars are reduced mod the
+        group order (negative scalars act as inverses), duplicate bases are
+        merged by summing their scalars, zero-scalar terms vanish, an empty
+        term list yields the identity.  ``bases`` and ``scalars`` must have
+        equal length (:class:`ValueError` otherwise).
+
+        Backends override :meth:`_multi_exponentiate_terms` to run the same
+        algorithms on their native representation; this entry point owns the
+        term normalisation so every backend agrees on edge cases.
+        """
+        terms = collapse_terms(self.order, bases, scalars, key=lambda base: base.to_bytes())
+        if not terms:
+            return self.identity
+        if len(terms) == 1:
+            base, scalar = terms[0]
+            return base.exponentiate(scalar)
+        return self._multi_exponentiate_terms(terms)
+
+    def _multi_exponentiate_terms(
+        self, terms: Sequence[Tuple[GroupElement, int]]
+    ) -> GroupElement:
+        """Evaluate normalised ``(base, scalar)`` terms (backend hook).
+
+        The default runs the kernels over :class:`GroupElement` operations,
+        assuming a double-and-add ladder for the naive alternative — correct
+        for any backend.  Concrete groups override this with their native
+        value types and calibrated cost constants.
+        """
+        values: List[GroupElement] = [base for base, _ in terms]
+        scalars = [scalar for _, scalar in terms]
+        max_bits = max(scalar.bit_length() for scalar in scalars)
+        ops = GroupOps(
+            identity=self.identity,
+            multiply=lambda a, b: a.operate(b),
+            advance=lambda a, k: a.exponentiate(1 << k),
+            invert=lambda a: a.inverse(),
+        )
+        plan = plan_multi_exponentiation(
+            len(terms),
+            max_bits,
+            exponentiate_cost=1.5 * max_bits,
+            invert_cost=10.0,
+        )
+        return execute_plan(ops, values, scalars, plan, lambda base, scalar: base.exponentiate(scalar))
 
 
 @dataclass(frozen=True)

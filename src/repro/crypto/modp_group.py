@@ -18,16 +18,33 @@ from __future__ import annotations
 
 import hashlib
 from functools import lru_cache
+from typing import Any, List, Sequence, Tuple
 
+from repro.crypto import bigint
 from repro.crypto.group import Group, GroupElement
+from repro.crypto.multiexp import GroupOps, execute_plan, plan_multi_exponentiation
+
+#: Below this subgroup-order size, CPython's native ``pow`` beats any
+#: Python-level multi-exponentiation (interpreter overhead dominates small
+#: bigint arithmetic), so `multi_exponentiate` stays on the naive per-term
+#: loop.  Mirrors ``repro.runtime.precompute.MIN_ORDER_BITS``.
+MULTIEXP_MIN_ORDER_BITS = 192
 
 
 class ModPElement(GroupElement):
-    """An element of a Schnorr subgroup, stored as an integer mod p."""
+    """An element of a Schnorr subgroup, stored as an integer mod p.
+
+    The integer type is the group's big-integer backend value
+    (:mod:`repro.crypto.bigint`): plain ``int`` by default, ``gmpy2.mpz``
+    when the gmpy2 backend is active.  Both hash and compare identically and
+    encode to the same canonical bytes.
+    """
 
     __slots__ = ("_value", "_group")
 
     def __init__(self, value: int, group: "ModPGroup"):
+        # ``modulus`` is a backend value, so the reduction also converts
+        # plain-int inputs into the backend's representation.
         self._value = value % group.modulus
         self._group = group
 
@@ -45,13 +62,22 @@ class ModPElement(GroupElement):
         return ModPElement((self._value * other._value) % self._group.modulus, self._group)
 
     def exponentiate(self, scalar: int) -> "ModPElement":
-        return ModPElement(pow(self._value, scalar % self._group.order, self._group.modulus), self._group)
+        group = self._group
+        return ModPElement(
+            group._backend.powmod(self._value, scalar % group.order, group.modulus), group
+        )
 
     def inverse(self) -> "ModPElement":
-        return ModPElement(pow(self._value, -1, self._group.modulus), self._group)
+        return ModPElement(self._group._backend.invert(self._value, self._group.modulus), self._group)
 
     def to_bytes(self) -> bytes:
-        return self._value.to_bytes(self._group.element_bytes, "big")
+        return int(self._value).to_bytes(self._group.element_bytes, "big")
+
+    def __reduce__(self):
+        # Normalise to a plain int for transport: a pickled element must
+        # unpickle in processes whose bigint backend differs (a cluster may
+        # mix gmpy2 and pure-python workers).
+        return (ModPElement, (int(self._value), self._group))
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -68,16 +94,25 @@ class ModPElement(GroupElement):
 
 
 class ModPGroup(Group):
-    """The order-q subgroup of Z_p* for a safe prime p = 2q + 1."""
+    """The order-q subgroup of Z_p* for a safe prime p = 2q + 1.
+
+    Arithmetic runs on the process-wide big-integer backend
+    (:func:`repro.crypto.bigint.active_backend`): the modulus and all element
+    values are backend values, and exponentiation/inversion route through the
+    backend's ``powmod``/``invert``.  The backend is captured at construction
+    time, which is why switching backends requires rebuilding the group
+    singletons (see :func:`repro.crypto.bigint.set_active_backend`).
+    """
 
     def __init__(self, name: str, modulus: int, order: int, generator: int):
         self.name = name
-        self.modulus = modulus
+        self._backend = bigint.active_backend()
+        self.modulus = self._backend.convert(modulus)
         self._order = order
-        self.element_bytes = (modulus.bit_length() + 7) // 8
+        self.element_bytes = (int(modulus).bit_length() + 7) // 8
         self._generator = ModPElement(generator, self)
         self._identity = ModPElement(1, self)
-        if pow(generator, order, modulus) != 1:
+        if self._backend.powmod(self._generator.value, order, self.modulus) != 1:
             raise ValueError("generator does not have the declared order")
 
     @property
@@ -108,18 +143,77 @@ class ModPGroup(Group):
         candidate = int.from_bytes(digest, "big") % self.modulus
         if candidate == 0:
             candidate = 1
-        return ModPElement(pow(candidate, 2, self.modulus), self)
+        return ModPElement(self._backend.powmod(candidate, 2, self.modulus), self)
 
     def is_member(self, element: ModPElement) -> bool:
         """Subgroup membership test: x^q == 1 mod p."""
-        return pow(element.value, self._order, self.modulus) == 1
+        return self._backend.powmod(element.value, self._order, self.modulus) == 1
+
+    def _multi_exponentiate_terms(
+        self, terms: Sequence[Tuple[GroupElement, int]]
+    ) -> ModPElement:
+        """Straus/Pippenger over raw residues with backend-native inner ops.
+
+        Runs the kernels on bare backend integers rather than
+        :class:`ModPElement` wrappers (no per-step object churn), advances
+        the shared squaring chain with one native ``powmod(acc, 2**k, p)``
+        instead of ``k`` interpreted squarings, and feeds the planner cost
+        constants calibrated for CPython bigints: a native full
+        exponentiation costs ≈0.87·|q| mulmod-units at 2048 bits (less at
+        smaller sizes, interpolated below), a squaring ≈0.8 of a
+        multiplication, a modular inverse ≈25.
+
+        Below :data:`MULTIEXP_MIN_ORDER_BITS` the naive native-pow loop is
+        unbeatable from Python, so small (toy/test) groups keep it.
+        """
+        modulus = self.modulus
+        backend = self._backend
+        bits = self._order.bit_length()
+        if bits < MULTIEXP_MIN_ORDER_BITS:
+            accumulator = self._identity
+            for base, scalar in terms:
+                accumulator = accumulator.operate(base.exponentiate(scalar))
+            return accumulator
+        values: List[Any] = [base.value for base, _ in terms]
+        scalars = [scalar for _, scalar in terms]
+        max_bits = max(scalar.bit_length() for scalar in scalars)
+        ops = GroupOps(
+            identity=backend.convert(1),
+            multiply=lambda a, b: (a * b) % modulus,
+            advance=lambda a, k: backend.powmod(a, 1 << k, modulus),
+            invert=lambda a: backend.invert(a, modulus),
+        )
+        # Native pow's advantage over interpreted mulmod grows as operands
+        # shrink (C loop vs. bytecode): ≈0.87·bits at 2048 bits, roughly
+        # 0.3·bits around 256 bits.  Linear interpolation is plenty — the
+        # planner only needs the naive/Straus/Pippenger ordering right.
+        exponentiate_cost = max_bits * (0.3 + 0.57 * min(1.0, modulus.bit_length() / 2048))
+        plan = plan_multi_exponentiation(
+            len(terms),
+            max_bits,
+            exponentiate_cost=exponentiate_cost,
+            square_cost=0.8,
+            invert_cost=25.0,
+        )
+        result = execute_plan(
+            ops,
+            values,
+            scalars,
+            plan,
+            lambda value, scalar: backend.powmod(value, scalar, modulus),
+        )
+        return ModPElement(result, self)
 
     def __reduce__(self):
         # Groups are compared by identity (``is``) in element operations, so
         # pickling — e.g. shipping work to a :class:`ProcessExecutor` worker —
         # must resolve back to the per-process canonical instance for these
-        # parameters rather than construct a fresh object.
-        return (_group_from_params, (self.name, self.modulus, self._order, self._generator.value))
+        # parameters rather than construct a fresh object.  Parameters are
+        # normalised to plain ints so the payload is backend-independent.
+        return (
+            _group_from_params,
+            (self.name, int(self.modulus), self._order, int(self._generator.value)),
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -215,6 +309,23 @@ def testing_group() -> ModPGroup:
     if not _is_probable_prime(_TOY_Q) or not _is_probable_prime(_TOY_P):
         raise RuntimeError("testing group parameters are not prime")  # pragma: no cover
     return _group_from_params("modp-toy-INSECURE", _TOY_P, _TOY_Q, _quadratic_residue_generator(_TOY_P))
+
+
+def _reset_group_caches() -> None:
+    """Drop the canonical group instances (bigint backend switched).
+
+    Registered with :func:`repro.crypto.bigint.register_reset_hook`; groups
+    constructed after a backend switch must capture the new backend, and the
+    cached singletons hold the old one.
+    """
+    _group_from_params.cache_clear()
+    modp_group_2048.cache_clear()
+    modp_group_3072.cache_clear()
+    modp_group_256.cache_clear()
+    testing_group.cache_clear()
+
+
+bigint.register_reset_hook(_reset_group_caches)
 
 
 def _is_probable_prime(n: int, rounds: int = 20) -> bool:

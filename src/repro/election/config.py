@@ -7,6 +7,7 @@ from typing import Callable, List, Optional
 
 from repro import telemetry
 from repro.audit.api import Verifier, verifier_from_spec
+from repro.crypto import bigint
 from repro.crypto.group import Group
 from repro.crypto.modp_group import testing_group
 from repro.ledger.api import LedgerBackend, board_from_spec
@@ -75,6 +76,22 @@ class ElectionConfig:
     (worker spans ride back on RESULT frames), and process pools re-attach
     through the ``REPRO_TELEMETRY`` environment variable.  Telemetry never
     changes results; it only records where the wall clock went.
+
+    ``bigint_spec`` pins the :mod:`repro.crypto.bigint` arithmetic backend
+    the mod-p groups must be running on — ``"auto"`` (default: whatever the
+    process resolved, gmpy2 when importable else pure Python), ``"python"``
+    or ``"gmpy2"``.  Unlike the other specs this one does not *construct*
+    anything: backends are process-wide (selected once via the
+    ``REPRO_BIGINT`` environment variable before the first group exists), so
+    :meth:`make_group` merely validates that the active backend matches and
+    raises :class:`~repro.crypto.bigint.BigIntError` on a mismatch instead
+    of silently running on the wrong arithmetic.  Every backend produces
+    bit-identical transcripts; only the wall clock moves.
+
+    The spec grammars above are the whole deployment surface of a simulated
+    election; ``docs/architecture.md`` maps the subsystems they select
+    between and ``docs/performance.md`` explains which knob moves which
+    benchmark.
     """
 
     num_voters: int = 10
@@ -93,12 +110,16 @@ class ElectionConfig:
     audit_spec: str = "batched"
     audit_evidence: bool = False
     telemetry_spec: str = "off"
+    bigint_spec: str = "auto"
 
     def voter_ids(self) -> List[str]:
         width = max(4, len(str(self.num_voters)))
         return [f"voter-{index:0{width}d}" for index in range(self.num_voters)]
 
     def make_group(self) -> Group:
+        # Fail loudly *before* building the group if the election demands a
+        # specific bigint backend this process did not resolve.
+        bigint.require(self.bigint_spec)
         return self.group_factory()
 
     def make_telemetry(self) -> None:

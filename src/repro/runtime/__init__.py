@@ -56,6 +56,7 @@ from repro.runtime.precompute import (
     FixedBaseTable,
     clear_tables,
     element_power,
+    multi_element_power,
     set_precompute_enabled,
     warm_fixed_base,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "resolve_executor",
     "FixedBaseTable",
     "element_power",
+    "multi_element_power",
     "warm_fixed_base",
     "set_precompute_enabled",
     "clear_tables",

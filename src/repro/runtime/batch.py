@@ -46,7 +46,7 @@ from repro.crypto.elgamal import DecryptionShare, ElGamal, ElGamalCiphertext
 from repro.crypto.group import Group, GroupElement
 from repro.crypto.schnorr import SchnorrSignature, schnorr_challenge, schnorr_verify
 from repro.runtime.executor import Executor
-from repro.runtime.precompute import element_power
+from repro.runtime.precompute import multi_element_power
 from repro.runtime.sharding import merge_shards, parallel_map, shard_contiguous
 
 DEFAULT_WEIGHT_BITS = 128
@@ -68,7 +68,17 @@ def _random_weights(group: Group, count: int, weight_bits: int) -> List[int]:
 
 
 class ProductAccumulator:
-    """Accumulates ``∏ base^exponent`` terms, collapsing repeated bases."""
+    """Accumulates ``∏ base^exponent`` terms, collapsing repeated bases.
+
+    :meth:`value` evaluates the whole product in **one** multi-exponentiation
+    (:func:`repro.runtime.precompute.multi_element_power`): hot bases with
+    fixed-base tables go through their windowed tables, everything else
+    shares a single Straus/Pippenger squaring chain.  Verifiers keep their
+    LHS and RHS as *two* accumulators compared for equality rather than
+    folding ``RHS^{-1}`` into one product — negating an RLC weight mod the
+    order turns a deliberately small (``|w|``-bit) exponent into a full-width
+    one, which would forfeit most of the batching win.
+    """
 
     __slots__ = ("_group", "_terms")
 
@@ -86,11 +96,13 @@ class ProductAccumulator:
             self._terms[key] = (entry[0], (entry[1] + exponent) % self._group.order)
 
     def value(self) -> GroupElement:
-        accumulator = self._group.identity
+        bases: List[GroupElement] = []
+        exponents: List[int] = []
         for base, exponent in self._terms.values():
             if exponent:
-                accumulator = accumulator.operate(element_power(base, exponent))
-        return accumulator
+                bases.append(base)
+                exponents.append(exponent)
+        return multi_element_power(self._group, bases, exponents)
 
 
 # ---------------------------------------------------------------------------

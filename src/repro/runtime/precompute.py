@@ -50,6 +50,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.crypto import bigint as _bigint_module
 from repro.crypto import elgamal as _elgamal_module
 from repro.crypto import group as _group_module
 from repro.crypto.group import Group, GroupElement
@@ -356,6 +357,48 @@ def element_power(base: GroupElement, scalar: int) -> GroupElement:
     return table.power(scalar)
 
 
+def multi_element_power(
+    group: Group, bases: Sequence[GroupElement], scalars: Sequence[int]
+) -> GroupElement:
+    """``∏ bases[i] ** scalars[i]`` with fixed-base tables folded in.
+
+    The batched-verification folds (:mod:`repro.runtime.batch`) mix two kinds
+    of bases: a few *hot* ones that recur in every equation (the generator,
+    the election public key) and many one-shot ones (commitments,
+    ciphertext components).  This entry point splits them: bases that
+    already have a :class:`FixedBaseTable` are evaluated through their
+    windowed table (each costs ``⌈bits/w⌉`` multiplications and nothing
+    else), and only the remainder goes into the shared-squaring-chain
+    multi-exponentiation (:meth:`Group.multi_exponentiate
+    <repro.crypto.group.Group.multi_exponentiate>`).  Tables are *used* but
+    never built here — one-shot RLC bases would churn the usage counters.
+
+    Semantics are identical to ``group.multi_exponentiate(bases, scalars)``.
+    """
+    if len(bases) != len(scalars):
+        raise ValueError(
+            f"multi-exponentiation needs one scalar per base "
+            f"(got {len(bases)} bases, {len(scalars)} scalars)"
+        )
+    if not _accelerable(group) or not _tables:
+        return group.multi_exponentiate(bases, scalars)
+    table_product: Optional[GroupElement] = None
+    rest_bases: List[GroupElement] = []
+    rest_scalars: List[int] = []
+    for base, scalar in zip(bases, scalars):
+        key = _base_key(base)
+        table = _tables.get(key)
+        if table is None:
+            rest_bases.append(base)
+            rest_scalars.append(scalar)
+        else:
+            _tables.move_to_end(key)
+            term = table.power(scalar)
+            table_product = term if table_product is None else table_product.operate(term)
+    rest = group.multi_exponentiate(rest_bases, rest_scalars)
+    return rest if table_product is None else table_product.operate(rest)
+
+
 def _generator_power(group: Group, scalar: int) -> Optional[GroupElement]:
     """The hook :mod:`repro.crypto.group` consults for ``group.power``."""
     if not _accelerable(group):
@@ -368,6 +411,10 @@ def _generator_power(group: Group, scalar: int) -> Optional[GroupElement]:
 # process-wide, and clearing the hooks restores the reference paths.
 _group_module.set_power_accelerator(_generator_power)
 _elgamal_module.set_element_power_hook(element_power)
+
+# Cached tables hold elements of the pre-switch group singletons, so a bigint
+# backend switch (test/tooling hook) must drop them alongside the groups.
+_bigint_module.register_reset_hook(clear_tables)
 
 # Honour the environment switch at import so forked workers, CLI runs and CI
 # jobs share one cache directory without any plumbing.

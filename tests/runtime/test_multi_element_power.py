@@ -1,0 +1,86 @@
+"""`multi_element_power`: fixed-base tables folded into multi-exponentiation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.modp_group import modp_group_256, testing_group as toy_group
+from repro.runtime.precompute import (
+    clear_tables,
+    multi_element_power,
+    set_precompute_enabled,
+    warm_fixed_base,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_precompute_state():
+    clear_tables()
+    previous = set_precompute_enabled(True)
+    yield
+    clear_tables()
+    set_precompute_enabled(previous)
+
+
+@pytest.fixture(scope="module")
+def big_group():
+    return modp_group_256()
+
+
+def _naive(group, bases, scalars):
+    result = group.identity
+    for base, scalar in zip(bases, scalars):
+        result = result.operate(base.exponentiate(scalar))
+    return result
+
+
+def _random_terms(group, count, seed):
+    rng = random.Random(seed)
+    bases = [group.power(rng.randrange(1, group.order)) for _ in range(count)]
+    scalars = [rng.randrange(-group.order, 2 * group.order) for _ in range(count)]
+    return bases, scalars
+
+
+class TestMultiElementPower:
+    def test_matches_naive_without_tables(self, big_group):
+        bases, scalars = _random_terms(big_group, 9, seed=0xA)
+        assert multi_element_power(big_group, bases, scalars) == _naive(big_group, bases, scalars)
+
+    def test_matches_naive_with_warmed_tables(self, big_group):
+        # The generator and a "public key" are warmed (as election setup
+        # does); the remaining one-shot bases share the multi-exp chain.
+        public_key = big_group.power(0x5EC0DE)
+        warm_fixed_base(big_group.generator)
+        warm_fixed_base(public_key)
+        bases, scalars = _random_terms(big_group, 6, seed=0xB)
+        bases += [big_group.generator, public_key]
+        scalars += [12345, -678]
+        assert multi_element_power(big_group, bases, scalars) == _naive(big_group, bases, scalars)
+
+    def test_all_bases_table_backed(self, big_group):
+        warm_fixed_base(big_group.generator)
+        assert multi_element_power(
+            big_group, [big_group.generator], [4242]
+        ) == big_group.generator.exponentiate(4242)
+
+    def test_empty_terms_yield_identity(self, big_group):
+        assert multi_element_power(big_group, [], []) == big_group.identity
+
+    def test_length_mismatch_raises(self, big_group):
+        with pytest.raises(ValueError):
+            multi_element_power(big_group, [big_group.generator], [1, 2])
+
+    def test_toy_group_stays_on_reference_path(self):
+        group = toy_group()
+        bases, scalars = _random_terms(group, 5, seed=0xC)
+        assert multi_element_power(group, bases, scalars) == _naive(group, bases, scalars)
+
+    def test_disabled_precompute_still_correct(self, big_group):
+        warm_fixed_base(big_group.generator)
+        set_precompute_enabled(False)
+        bases, scalars = _random_terms(big_group, 4, seed=0xD)
+        bases.append(big_group.generator)
+        scalars.append(99)
+        assert multi_element_power(big_group, bases, scalars) == _naive(big_group, bases, scalars)
