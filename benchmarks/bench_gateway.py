@@ -1,0 +1,187 @@
+"""Gateway HTTP admission throughput: bulk casts vs. per-request appends.
+
+The gateway exists so casting clients talk HTTP, not Python, and the micro-
+batching admitter is what keeps that affordable: a bulk ``CastRequest`` rides
+one HTTP round trip and lands as one ledger batch, while a naive client that
+posts one ballot per request pays parsing, governor, and batch-window latency
+on every single ballot.  This bench runs a real server on a loopback socket
+and measures both paths end to end — client-observed request latency included
+— plus a deliberately overloaded leg so the shed rate under burst is a
+reported number, not a claim.
+
+CI runs this as a smoke test: bulk admission must sustain at least 2× the
+per-request cast throughput, and the overload leg must actually shed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+from repro.bench.harness import ResultTable, emit_bench_json, format_seconds
+from repro.gateway.client import CastingSession, GatewayClient, RateLimited
+from repro.gateway.governor import GovernorConfig
+from repro.gateway.routes import GatewayServer
+from repro.gateway.service import GatewayService, ServiceConfig
+
+NUM_BALLOTS = 192
+BULK_SIZE = 32
+#: Required advantage of bulk CastRequests over one-ballot-per-request (CI gate).
+REQUIRED_SPEEDUP = 2.0
+#: Overload leg: requests fired against a deliberately tiny client bucket.
+OVERLOAD_ATTEMPTS = 48
+
+
+class _LiveGateway:
+    """A service + server on a background event loop, driven over real HTTP."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
+        self.thread.start()
+        self.service = GatewayService(config)
+        self.server = GatewayServer(self.service)
+        self._run(self.server.start())
+
+    def _run(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(120)
+
+    def close(self) -> None:
+        self._run(self.server.stop())
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=30)
+        self.loop.close()
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))]
+
+
+def _wires(client: GatewayClient, election_id: str, count: int):
+    session = CastingSession(client, election_id)
+    session.refresh()
+    credential = session.register("voter-0000").credentials[0]
+    return [session.make_ballot_wire(credential, index % 2) for index in range(count)]
+
+
+def _timed_casts(client: GatewayClient, election_id: str, wires, chunk: int):
+    """Cast ``wires`` in ``chunk``-sized requests; return (total, latencies)."""
+    latencies = []
+    start = time.perf_counter()
+    for index in range(0, len(wires), chunk):
+        request_start = time.perf_counter()
+        client.cast_ballots(election_id, wires[index : index + chunk])
+        latencies.append(time.perf_counter() - request_start)
+    return time.perf_counter() - start, latencies
+
+
+def test_bulk_admission_outpaces_per_request_casts():
+    # Generous limits: this leg measures throughput, not the governor.
+    config = ServiceConfig(
+        governor=GovernorConfig(
+            tenant_rate=1e9, tenant_burst=1e9, client_rate=1e9, client_burst=1e9,
+            batch_size=BULK_SIZE,
+        )
+    )
+    gateway = _LiveGateway(config)
+    try:
+        client = GatewayClient(port=gateway.server.port, client_id="bench")
+        client.create_election("naive", 4, 2)
+        client.create_election("bulk", 4, 2)
+        naive_wires = _wires(client, "naive", NUM_BALLOTS)
+        bulk_wires = _wires(client, "bulk", NUM_BALLOTS)
+
+        naive_seconds, naive_latencies = _timed_casts(client, "naive", naive_wires, 1)
+        bulk_seconds, bulk_latencies = _timed_casts(client, "bulk", bulk_wires, BULK_SIZE)
+
+        client.close_election("naive")
+        client.close_election("bulk")
+        for election_id in ("naive", "bulk"):
+            board = gateway.service.tenants[election_id].setup.board
+            assert board.num_ballots == NUM_BALLOTS
+            assert board.verify_all_chains()
+        client.close()
+    finally:
+        gateway.close()
+
+    naive_rate = NUM_BALLOTS / naive_seconds
+    bulk_rate = NUM_BALLOTS / bulk_seconds
+    speedup = bulk_rate / naive_rate
+
+    table = ResultTable(
+        title=f"Gateway HTTP admission, {NUM_BALLOTS} ballots (toy group, loopback)",
+        columns=["path", "total", "req p50", "req p99", "casts/s"],
+    )
+    table.add_row(
+        "naive, 1 ballot/request",
+        format_seconds(naive_seconds),
+        format_seconds(_percentile(naive_latencies, 0.50)),
+        format_seconds(_percentile(naive_latencies, 0.99)),
+        f"{naive_rate:,.0f}",
+    )
+    table.add_row(
+        f"bulk, {BULK_SIZE} ballots/request",
+        format_seconds(bulk_seconds),
+        format_seconds(_percentile(bulk_latencies, 0.50)),
+        format_seconds(_percentile(bulk_latencies, 0.99)),
+        f"{bulk_rate:,.0f}",
+    )
+    table.print()
+
+    shed_rate, retry_after = _overload_shed_rate()
+    print(f"overload leg: shed rate {shed_rate:.0%}, first Retry-After {retry_after:.3f}s")
+
+    emit_bench_json(
+        "gateway",
+        {
+            "num_ballots": NUM_BALLOTS,
+            "bulk_size": BULK_SIZE,
+            "naive_seconds": naive_seconds,
+            "bulk_seconds": bulk_seconds,
+            "naive_casts_per_second": naive_rate,
+            "bulk_casts_per_second": bulk_rate,
+            "naive_request_p50_seconds": _percentile(naive_latencies, 0.50),
+            "naive_request_p99_seconds": _percentile(naive_latencies, 0.99),
+            "bulk_request_p50_seconds": _percentile(bulk_latencies, 0.50),
+            "bulk_request_p99_seconds": _percentile(bulk_latencies, 0.99),
+            "overload_shed_rate": shed_rate,
+            "overload_retry_after_seconds": retry_after,
+            "speedup": speedup,
+            "required_speedup": REQUIRED_SPEEDUP,
+        },
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"bulk admission only {speedup:.1f}× the per-request cast throughput "
+        f"(required ≥ {REQUIRED_SPEEDUP}×)"
+    )
+
+
+def _overload_shed_rate():
+    """Fire a burst at a tiny client bucket; return (shed rate, first Retry-After)."""
+    config = ServiceConfig(
+        governor=GovernorConfig(
+            tenant_rate=1e9, tenant_burst=1e9, client_rate=25.0, client_burst=8.0,
+            batch_size=8,
+        )
+    )
+    gateway = _LiveGateway(config)
+    try:
+        client = GatewayClient(port=gateway.server.port, client_id="burst")
+        client.create_election("overload", 4, 2)
+        wires = _wires(client, "overload", 1)
+        shed = 0
+        retry_after = 0.0
+        for _ in range(OVERLOAD_ATTEMPTS):
+            try:
+                client.cast_ballots("overload", wires)
+            except RateLimited as error:
+                shed += 1
+                retry_after = retry_after or error.retry_after_seconds
+        client.close()
+    finally:
+        gateway.close()
+    assert shed > 0, "the overload leg never shed — the burst bucket is not biting"
+    assert retry_after > 0.0
+    return shed / OVERLOAD_ATTEMPTS, retry_after

@@ -38,6 +38,11 @@ POLICY: List[Tuple[str, FrozenSet[str]]] = [
     # deserialization site.  Everything else stays strict.
     ("repro/cluster/protocol.py", _ALL - {"REP003"}),
     ("repro/cluster/*", _ALL),
+    # The gateway is where untrusted bytes meet the trusted stack, and its
+    # registration responses carry credential secrets — full strict set
+    # (REP001 keeps secrets out of logs/errors, REP006 keeps the accept loop
+    # from swallowing failures).
+    ("repro/gateway/*", _ALL),
     ("repro/crypto/*", _ALL - {"REP004", "REP005"}),
     ("repro/registration/*", _ALL - {"REP004", "REP005"}),
     ("repro/tally/*", _ALL - {"REP001", "REP004"}),

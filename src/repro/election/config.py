@@ -77,6 +77,14 @@ class ElectionConfig:
     through the ``REPRO_TELEMETRY`` environment variable.  Telemetry never
     changes results; it only records where the wall clock went.
 
+    ``gateway_spec`` optionally exposes the election over HTTP through
+    :mod:`repro.gateway` — ``"off"`` (default: no network surface),
+    ``"serve"`` (loopback, ephemeral port), ``"serve:8080"`` or
+    ``"serve:0.0.0.0:8080"``.  :meth:`make_gateway` builds (but does not
+    start) a :class:`repro.gateway.routes.GatewayServer` whose tenants reuse
+    this config's board, executor and audit specs; ``python -m repro.gateway``
+    is the standalone CLI over the same machinery.
+
     ``bigint_spec`` pins the :mod:`repro.crypto.bigint` arithmetic backend
     the mod-p groups must be running on — ``"auto"`` (default: whatever the
     process resolved, gmpy2 when importable else pure Python), ``"python"``
@@ -111,6 +119,7 @@ class ElectionConfig:
     audit_evidence: bool = False
     telemetry_spec: str = "off"
     bigint_spec: str = "auto"
+    gateway_spec: str = "off"
 
     def voter_ids(self) -> List[str]:
         width = max(4, len(str(self.num_voters)))
@@ -154,3 +163,19 @@ class ElectionConfig:
 
     def make_board(self, group: Optional[Group] = None) -> BulletinBoard:
         return BulletinBoard(self.make_board_backend(group=group))
+
+    def make_gateway(self):
+        """Build (not start) the HTTP gateway selected by ``gateway_spec``.
+
+        Returns ``None`` for ``"off"``; otherwise a
+        :class:`repro.gateway.routes.GatewayServer` whose tenants are
+        provisioned with this config's board/executor/audit specs and group.
+        Imported lazily — an election that never serves HTTP never pays for
+        the gateway package.
+        """
+        from repro.gateway.routes import server_from_spec
+        from repro.gateway.service import service_from_config
+
+        if (self.gateway_spec or "off").strip().lower() == "off":
+            return None
+        return server_from_spec(self.gateway_spec, service_from_config(self))

@@ -32,3 +32,7 @@ class CoercionDetected(ReproError):
 class ClusterError(ReproError):
     """A multi-node cluster operation failed (enrollment, transport, or the
     coordinator ran out of live workers for outstanding shards)."""
+
+
+class GatewayError(ReproError):
+    """A gateway (HTTP front door) operation failed server-side."""

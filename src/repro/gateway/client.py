@@ -1,0 +1,327 @@
+"""Typed synchronous client SDK for the gateway.
+
+One method per route, returning the same frozen schema dataclasses the
+server serializes — the SDK and the server literally share
+:mod:`repro.gateway.schemas`, so they cannot drift apart.  Transport is
+stdlib ``http.client`` (one keep-alive connection per client), and the audit
+stream uses a hand-rolled RFC 6455 client handshake over a plain socket.
+
+:class:`CastingSession` closes the loop for end-to-end tests and demos: it
+pulls :class:`~repro.gateway.schemas.ElectionInfo`, rebuilds the election
+group by name through :mod:`repro.crypto.registry`, and forms real signed
+ballots client-side with :func:`repro.voting.ballot.make_ballot` — the same
+code path an in-process election uses, proving the HTTP surface carries
+everything a voter's device needs.
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import secrets
+import socket
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Type, TypeVar
+
+from repro.crypto.group import Group
+from repro.crypto.registry import group_by_name
+from repro.crypto.schnorr import SigningKeyPair
+from repro.errors import GatewayError
+from repro.gateway.http import WS_CLOSE, WS_TEXT, SyncWsReader, websocket_accept_value
+from repro.gateway.schemas import (
+    AuditReportWire,
+    AuditStreamEvent,
+    BallotWire,
+    CastRequest,
+    CastResponse,
+    CreateElectionRequest,
+    CredentialWire,
+    ElectionInfo,
+    ErrorBody,
+    HealthResponse,
+    RegisterRequest,
+    RegisterResponse,
+    Schema,
+    TallyResponse,
+    ballot_to_wire,
+)
+from repro.voting.ballot import make_ballot
+
+S = TypeVar("S", bound=Schema)
+
+
+class GatewayClientError(GatewayError):
+    """A non-2xx response; carries the decoded :class:`ErrorBody`."""
+
+    def __init__(self, status: int, body: ErrorBody) -> None:
+        super().__init__(f"HTTP {status}: {body.error}")
+        self.status = status
+        self.body = body
+
+    @property
+    def field_errors(self) -> Dict[str, str]:
+        return dict(self.body.field_errors or {})
+
+
+class RateLimited(GatewayClientError):
+    """A 429/503: the governor shed this request; back off and retry."""
+
+    @property
+    def retry_after_seconds(self) -> float:
+        return float(self.body.retry_after_seconds or 0.0)
+
+
+@dataclass
+class GatewayClient:
+    """Synchronous SDK over one keep-alive connection."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    client_id: str = ""
+    timeout: float = 60.0
+    _connection: Optional[http.client.HTTPConnection] = field(default=None, repr=False)
+
+    # ---------------------------------------------------------------- plumbing
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Schema],
+        response_schema: Type[S],
+    ) -> S:
+        status, payload = self._raw_request(method, path, body)
+        decoded = response_schema.from_json(payload)
+        assert isinstance(decoded, response_schema)
+        return decoded
+
+    def _raw_request(
+        self, method: str, path: str, body: Optional[Schema]
+    ) -> Tuple[int, bytes]:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        headers = {"Content-Type": "application/json"}
+        if self.client_id:
+            headers["X-Client-Id"] = self.client_id
+        encoded = body.to_json().encode() if body is not None else b""
+        try:
+            self._connection.request(method, path, body=encoded, headers=headers)
+            response = self._connection.getresponse()
+            payload = response.read()
+            status = response.status
+        except (http.client.HTTPException, OSError):
+            # The keep-alive connection died (server restart, drain close);
+            # drop it so the next call reconnects, and surface the failure.
+            self.close()
+            raise GatewayError(f"connection to {self.host}:{self.port} failed") from None
+        if status >= 400:
+            error_body = ErrorBody.from_json(payload)
+            assert isinstance(error_body, ErrorBody)
+            if status in (429, 503):
+                raise RateLimited(status, error_body)
+            raise GatewayClientError(status, error_body)
+        return status, payload
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ routes
+
+    def create_election(
+        self,
+        election_id: str,
+        num_voters: int,
+        num_options: int,
+        num_authority_members: Optional[int] = None,
+        group: Optional[str] = None,
+    ) -> ElectionInfo:
+        request = CreateElectionRequest(
+            election_id=election_id,
+            num_voters=num_voters,
+            num_options=num_options,
+            num_authority_members=num_authority_members,
+            group=group,
+        )
+        return self._request("POST", "/v1/elections", request, ElectionInfo)
+
+    def info(self, election_id: str) -> ElectionInfo:
+        return self._request("GET", f"/v1/elections/{election_id}", None, ElectionInfo)
+
+    def register(self, election_id: str, voter_id: str) -> RegisterResponse:
+        request = RegisterRequest(voter_id=voter_id)
+        return self._request(
+            "POST", f"/v1/elections/{election_id}/registrations", request, RegisterResponse
+        )
+
+    def cast_ballots(self, election_id: str, ballots: List[BallotWire]) -> CastResponse:
+        request = CastRequest(ballots=ballots)
+        return self._request(
+            "POST", f"/v1/elections/{election_id}/ballots", request, CastResponse
+        )
+
+    def close_election(self, election_id: str) -> ElectionInfo:
+        return self._request(
+            "POST", f"/v1/elections/{election_id}/close", None, ElectionInfo
+        )
+
+    def tally(self, election_id: str) -> TallyResponse:
+        return self._request(
+            "POST", f"/v1/elections/{election_id}/tally", None, TallyResponse
+        )
+
+    def audit_report(self, election_id: str) -> AuditReportWire:
+        return self._request(
+            "GET", f"/v1/elections/{election_id}/audit/report", None, AuditReportWire
+        )
+
+    def health(self) -> HealthResponse:
+        return self._request("GET", "/healthz", None, HealthResponse)
+
+    def metrics(self) -> str:
+        _, payload = self._raw_request("GET", "/metrics", None)
+        return payload.decode()
+
+    # ------------------------------------------------------------ audit stream
+
+    def audit_stream(self, election_id: str) -> Iterator[AuditStreamEvent]:
+        """Subscribe to the WebSocket audit stream; yields decoded events.
+
+        Iteration ends when the server closes the stream (drain) or the
+        generator is closed by the caller.
+        """
+        key = base64.b64encode(secrets.token_bytes(16)).decode("ascii")
+        path = f"/v1/elections/{election_id}/audit/stream"
+        raw = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        try:
+            handshake = (
+                f"GET {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Upgrade: websocket\r\n"
+                "Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Key: {key}\r\n"
+                "Sec-WebSocket-Version: 13\r\n"
+                "\r\n"
+            )
+            raw.sendall(handshake.encode("ascii"))
+            stream = raw.makefile("rb")
+            status_line = stream.readline()
+            if b"101" not in status_line.split(b" ", 2)[1:2]:
+                raise GatewayError(
+                    f"websocket handshake rejected: {status_line.decode('latin-1').strip()}"
+                )
+            accept_header = ""
+            while True:
+                line = stream.readline()
+                if line in (b"\r\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "sec-websocket-accept":
+                    accept_header = value.strip()
+            if accept_header != websocket_accept_value(key):
+                raise GatewayError("websocket handshake returned a bad accept key")
+            reader = SyncWsReader(stream)
+            while True:
+                frame = reader.read_frame()
+                if frame is None or frame.opcode == WS_CLOSE:
+                    return
+                if frame.opcode != WS_TEXT:
+                    continue
+                event = AuditStreamEvent.from_json(frame.payload)
+                assert isinstance(event, AuditStreamEvent)
+                yield event
+        finally:
+            raw.close()
+
+
+@dataclass
+class CastingSession:
+    """Client-side ballot formation for one election over the SDK.
+
+    Resolves the election group from the name the server advertises, keeps
+    the activated credentials returned by registration, and forms signed
+    encrypted ballots locally — the server never sees a secret key.
+    """
+
+    client: GatewayClient
+    election_id: str
+    info: Optional[ElectionInfo] = None
+    _group: Optional[Group] = field(default=None, repr=False)
+    credentials: Dict[str, List[CredentialWire]] = field(default_factory=dict)
+
+    def refresh(self) -> ElectionInfo:
+        self.info = self.client.info(self.election_id)
+        self._group = group_by_name(self.info.group)
+        return self.info
+
+    @property
+    def group(self) -> Group:
+        if self._group is None:
+            self.refresh()
+        assert self._group is not None
+        return self._group
+
+    def register(self, voter_id: str) -> RegisterResponse:
+        response = self.client.register(self.election_id, voter_id)
+        self.credentials[voter_id] = list(response.credentials)
+        return response
+
+    def real_credential(self, voter_id: str) -> CredentialWire:
+        for credential in self.credentials.get(voter_id, []):
+            if credential.is_real:
+                return credential
+        raise GatewayError(f"voter {voter_id!r} has no activated real credential")
+
+    def make_ballot_wire(
+        self, credential: CredentialWire, choice: int
+    ) -> BallotWire:
+        """Form, prove and sign one ballot locally; returns its wire form."""
+        info = self.info if self.info is not None else self.refresh()
+        group = self.group
+        keypair = SigningKeyPair(
+            secret=credential.secret_key,
+            public=group.element_from_bytes(credential.public_key),
+        )
+        ballot = make_ballot(
+            group,
+            group.element_from_bytes(info.authority_public_key),
+            keypair,
+            choice,
+            info.num_options,
+            election_id=self.election_id,
+        )
+        return ballot_to_wire(ballot.to_record())
+
+    def cast(
+        self, votes: List[Tuple[CredentialWire, int]]
+    ) -> CastResponse:
+        """Form and cast one micro-batch of (credential, choice) votes."""
+        ballots = [self.make_ballot_wire(credential, choice) for credential, choice in votes]
+        return self.client.cast_ballots(self.election_id, ballots)
+
+
+def pretty_metrics(text: str, prefix: str = "repro_") -> List[str]:
+    """Filter a Prometheus exposition down to this stack's sample lines."""
+    return [
+        line
+        for line in text.splitlines()
+        if line.startswith(prefix) and not line.startswith("#")
+    ]
+
+
+__all__ = [
+    "CastingSession",
+    "GatewayClient",
+    "GatewayClientError",
+    "RateLimited",
+    "pretty_metrics",
+]

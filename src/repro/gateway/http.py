@@ -1,0 +1,310 @@
+"""Minimal HTTP/1.1 + WebSocket wire plumbing over asyncio streams.
+
+Deliberately dependency-free (``asyncio.start_server`` + stdlib hashing):
+the reproduction must not grow hard dependencies, and the gateway needs only
+a small, strict subset of HTTP — JSON request/response bodies with
+``Content-Length``, keep-alive, and the RFC 6455 WebSocket handshake +
+framing for the audit stream.  Limits are enforced while *reading* (header
+and body caps), so an oversized request costs the configured maximum, not
+whatever the client felt like sending.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import secrets
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.errors import GatewayError
+
+#: Reading limits: one header line, all headers, and the body.
+MAX_HEADER_LINE = 8 * 1024
+MAX_HEADER_COUNT = 64
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: RFC 6455 magic GUID for the Sec-WebSocket-Accept digest.
+WEBSOCKET_GUID = b"258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: WebSocket opcodes (the subset the audit stream uses).
+WS_TEXT = 0x1
+WS_CLOSE = 0x8
+WS_PING = 0x9
+WS_PONG = 0xA
+
+STATUS_PHRASES: Dict[int, str] = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class BadRequest(GatewayError):
+    """The peer sent bytes this server refuses to parse as HTTP."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+    peer: str = ""
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def wants_websocket(self) -> bool:
+        return (
+            "websocket" in self.header("upgrade").lower()
+            and "upgrade" in self.header("connection").lower()
+        )
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.header("connection", "keep-alive").lower() != "close"
+
+    @property
+    def client_key(self) -> str:
+        """The admission-control identity: explicit client id, else peer."""
+        return self.header("x-client-id") or self.peer or "anonymous"
+
+
+async def read_request(reader: asyncio.StreamReader, peer: str = "") -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on a clean EOF."""
+    try:
+        request_line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise BadRequest("truncated request line") from None
+    except asyncio.LimitOverrunError:
+        raise BadRequest("request line too long") from None
+    if len(request_line) > MAX_HEADER_LINE:
+        raise BadRequest("request line too long")
+    try:
+        method, target, version = request_line.decode("ascii").split()
+    except ValueError:
+        raise BadRequest("malformed request line") from None
+    if not version.startswith("HTTP/1."):
+        raise BadRequest(f"unsupported protocol {version!r}")
+
+    headers: Dict[str, str] = {}
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise BadRequest("truncated headers") from None
+        if len(line) > MAX_HEADER_LINE:
+            raise BadRequest("header line too long")
+        if line == b"\r\n":
+            break
+        if len(headers) >= MAX_HEADER_COUNT:
+            raise BadRequest("too many headers")
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise BadRequest("malformed header line")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length", "")
+    if length_text:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise BadRequest("malformed Content-Length") from None
+        if length < 0:
+            raise BadRequest("negative Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise BadRequest("body too large")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise BadRequest("body shorter than Content-Length") from None
+    elif headers.get("transfer-encoding"):
+        raise BadRequest("chunked bodies are not supported; send Content-Length")
+
+    split = urlsplit(target)
+    query = {key: value for key, value in parse_qsl(split.query)}
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+        peer=peer,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one HTTP/1.1 response."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name in sorted(extra_headers or {}):
+        lines.append(f"{name}: {(extra_headers or {})[name]}")
+    head = "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+    return head + body
+
+
+# ---------------------------------------------------------------------------
+# WebSocket (RFC 6455) — handshake + framing
+# ---------------------------------------------------------------------------
+
+
+def websocket_accept_value(key: str) -> str:
+    """The Sec-WebSocket-Accept digest for a client's Sec-WebSocket-Key."""
+    digest = hashlib.sha1(key.encode("ascii") + WEBSOCKET_GUID).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def websocket_handshake_response(request: Request) -> bytes:
+    """The 101 Switching Protocols response, or raises :class:`BadRequest`."""
+    key = request.header("sec-websocket-key")
+    if not key:
+        raise BadRequest("websocket upgrade without Sec-WebSocket-Key")
+    return (
+        b"HTTP/1.1 101 Switching Protocols\r\n"
+        b"Upgrade: websocket\r\n"
+        b"Connection: Upgrade\r\n"
+        b"Sec-WebSocket-Accept: " + websocket_accept_value(key).encode("ascii") + b"\r\n\r\n"
+    )
+
+
+def encode_ws_frame(opcode: int, payload: bytes, mask: bool = False) -> bytes:
+    """One complete (FIN) WebSocket frame.
+
+    Servers send unmasked; clients must mask (``mask=True``) with a key from
+    the CSPRNG — predictable masks defeat the proxy-confusion defence the
+    masking exists for.
+    """
+    header = bytearray([0x80 | (opcode & 0x0F)])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0x00
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < (1 << 16):
+        header.append(mask_bit | 126)
+        header += struct.pack("!H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack("!Q", length)
+    if not mask:
+        return bytes(header) + payload
+    key = secrets.token_bytes(4)
+    masked = bytes(byte ^ key[index % 4] for index, byte in enumerate(payload))
+    return bytes(header) + key + masked
+
+
+@dataclass(frozen=True)
+class WsFrame:
+    opcode: int
+    payload: bytes
+
+
+async def read_ws_frame(reader: asyncio.StreamReader) -> Optional[WsFrame]:
+    """Read one frame; ``None`` on EOF.  Fragmentation is not supported."""
+    try:
+        head = await reader.readexactly(2)
+    except asyncio.IncompleteReadError:
+        return None
+    fin = head[0] & 0x80
+    opcode = head[0] & 0x0F
+    if not fin:
+        raise BadRequest("fragmented websocket frames are not supported")
+    masked = head[1] & 0x80
+    length = head[1] & 0x7F
+    try:
+        if length == 126:
+            length = struct.unpack("!H", await reader.readexactly(2))[0]
+        elif length == 127:
+            length = struct.unpack("!Q", await reader.readexactly(8))[0]
+        if length > MAX_BODY_BYTES:
+            raise BadRequest("websocket frame too large")
+        key = await reader.readexactly(4) if masked else b""
+        payload = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError:
+        return None
+    if masked:
+        payload = bytes(byte ^ key[index % 4] for index, byte in enumerate(payload))
+    return WsFrame(opcode=opcode, payload=payload)
+
+
+# ---------------------------------------------------------------------------
+# Synchronous client-side helpers (shared with repro.gateway.client)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SyncWsReader:
+    """Blocking WebSocket frame reader over a plain socket file object.
+
+    The client SDK's audit-stream subscriber: it reads server frames (which
+    are unmasked) from a ``socket.makefile("rb")`` object.
+    """
+
+    raw: "SupportsRead"
+    buffer: bytes = field(default=b"", repr=False)
+
+    def read_frame(self) -> Optional[WsFrame]:
+        head = self._read_exactly(2)
+        if head is None:
+            return None
+        opcode = head[0] & 0x0F
+        length = head[1] & 0x7F
+        if length == 126:
+            extended = self._read_exactly(2)
+            if extended is None:
+                return None
+            length = struct.unpack("!H", extended)[0]
+        elif length == 127:
+            extended = self._read_exactly(8)
+            if extended is None:
+                return None
+            length = struct.unpack("!Q", extended)[0]
+        payload = self._read_exactly(length) if length else b""
+        if length and payload is None:
+            return None
+        return WsFrame(opcode=opcode, payload=payload or b"")
+
+    def _read_exactly(self, count: int) -> Optional[bytes]:
+        data = b""
+        while len(data) < count:
+            chunk = self.raw.read(count - len(data))
+            if not chunk:
+                return None
+            data += chunk
+        return data
+
+
+class SupportsRead:
+    """Structural type for :class:`SyncWsReader` (``socket.makefile('rb')``)."""
+
+    def read(self, count: int) -> bytes:  # pragma: no cover - protocol stub
+        raise NotImplementedError

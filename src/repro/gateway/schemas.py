@@ -1,0 +1,669 @@
+"""Typed, versioned request/response schemas with strict JSON (de)serialization.
+
+This module is the single source of truth for the gateway's wire surface.
+Every request and response body is a frozen dataclass whose fields are
+declared twice over — once as dataclass attributes (the in-memory types) and
+once as :class:`FieldSpec` rows (the wire types, constraints and docs).  The
+generic (de)serializers walk the ``FIELDS`` table, so four consumers stay in
+lockstep by construction:
+
+* the server routes validate incoming JSON against the same table that
+  serialized the response (:meth:`Schema.from_json_dict` /
+  :meth:`Schema.to_json_dict`);
+* the synchronous client SDK (:mod:`repro.gateway.client`) round-trips the
+  same classes;
+* the route documentation (``docs/gateway.md``) is checked against
+  :func:`schema_catalog` by the gateway doc-sync test;
+* validation failures carry **per-field errors** (``ballots[2].ciphertext_c1
+  → "not valid hex"``) assembled from the same specs.
+
+Wire conventions: group elements travel as lowercase hex of their canonical
+``to_bytes()`` encoding; scalars (Schnorr responses, credential secret keys)
+travel as decimal strings so non-bignum JSON parsers survive them; every
+response body carries ``schema_version`` and inputs may pin it (a mismatch is
+a field error, not a silent reinterpretation).  Unknown keys are rejected —
+a typo'd field name fails loudly instead of being ignored.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, ClassVar, Dict, List, Optional, Tuple, Type, Union
+
+from repro.crypto.group import Group, GroupElement
+from repro.crypto.schnorr import SchnorrSignature
+from repro.errors import GatewayError
+from repro.ledger.records import BallotRecord
+
+#: The wire-schema version this module defines.  Routes are mounted under
+#: ``/v1/``; a breaking field change bumps this and mounts ``/v2/`` routes
+#: next to the old ones (see docs/gateway.md, "Schema versioning").
+SCHEMA_VERSION = 1
+
+#: Hard cap on ballots per cast request (pre-validation, so a hostile client
+#: cannot make the server parse an unbounded array).
+MAX_CAST_BATCH = 256
+
+#: Hard cap on string field lengths unless a spec narrows it further.
+MAX_STRING_LENGTH = 256
+
+
+class SchemaError(GatewayError):
+    """A request/response body failed strict validation.
+
+    ``field_errors`` maps field paths (``ballots[2].ciphertext_c1``) to
+    messages; the HTTP layer renders it as a 400 :class:`ErrorBody`.
+    """
+
+    def __init__(self, field_errors: Dict[str, str]) -> None:
+        summary = "; ".join(f"{path}: {message}" for path, message in sorted(field_errors.items()))
+        super().__init__(f"schema validation failed: {summary}")
+        self.field_errors = dict(field_errors)
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One wire field: name, wire type, constraints, and its doc line.
+
+    ``kind`` is a closed vocabulary the generic (de)serializers understand:
+
+    ========== ===================================================
+    kind       wire representation
+    ========== ===================================================
+    string     JSON string (``max_length`` capped, non-empty unless
+               ``allow_empty``)
+    int        JSON integer (bools rejected; ``min_value``/``max_value``)
+    float      JSON number
+    bool       JSON true/false
+    hex        lowercase hex string of a bytes value
+    scalar     decimal string of an unbounded non-negative integer
+    map-int    JSON object of string keys to integers
+    map-string JSON object of string keys to strings
+    array      JSON array of ``item`` (a primitive kind or Schema class)
+    schema     nested object of ``item`` (a Schema class)
+    ========== ===================================================
+    """
+
+    name: str
+    kind: str
+    doc: str
+    required: bool = True
+    item: Union[str, Type["Schema"], None] = None
+    max_length: int = MAX_STRING_LENGTH
+    min_value: Optional[int] = None
+    max_value: Optional[int] = None
+    max_items: Optional[int] = None
+    allow_empty: bool = False
+
+    def wire_type(self) -> str:
+        """The type label shown in derived docs (e.g. ``array[BallotWire]``)."""
+        if self.kind == "array":
+            inner = self.item if isinstance(self.item, str) else getattr(self.item, "SCHEMA_NAME", "?")
+            return f"array[{inner}]"
+        if self.kind == "schema":
+            return getattr(self.item, "SCHEMA_NAME", "?")
+        return self.kind
+
+
+#: Registry of every schema class by SCHEMA_NAME (docs + tests derive from it).
+SCHEMAS: Dict[str, Type["Schema"]] = {}
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Base class: subclasses declare ``FIELDS`` and get strict codecs free."""
+
+    SCHEMA_NAME: ClassVar[str] = ""
+    FIELDS: ClassVar[Tuple[FieldSpec, ...]] = ()
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.SCHEMA_NAME:
+            SCHEMAS[cls.SCHEMA_NAME] = cls
+
+    # ----------------------------------------------------------- serialization
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"schema_version": SCHEMA_VERSION}
+        for spec in self.FIELDS:
+            value = getattr(self, spec.name)
+            if value is None and not spec.required:
+                continue
+            data[spec.name] = _encode_value(spec, value)
+        return data
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), sort_keys=True, separators=(",", ":"))
+
+    # --------------------------------------------------------- deserialization
+
+    @classmethod
+    def from_json_dict(cls, data: Any, path: str = "") -> "Schema":
+        errors: Dict[str, str] = {}
+        value = cls._from_json_dict(data, path, errors)
+        if errors:
+            raise SchemaError(errors)
+        assert value is not None  # errors is empty ⇒ every field decoded
+        return value
+
+    @classmethod
+    def from_json(cls, text: Union[str, bytes]) -> "Schema":
+        try:
+            data = json.loads(text)
+        except (ValueError, UnicodeDecodeError):
+            raise SchemaError({"$body": "not valid JSON"}) from None
+        return cls.from_json_dict(data)
+
+    @classmethod
+    def _from_json_dict(
+        cls, data: Any, path: str, errors: Dict[str, str]
+    ) -> Optional["Schema"]:
+        prefix = f"{path}." if path else ""
+        if not isinstance(data, dict):
+            errors[path or "$body"] = f"expected an object, got {type(data).__name__}"
+            return None
+        known = {spec.name for spec in cls.FIELDS} | {"schema_version"}
+        for key in sorted(data):
+            if not isinstance(key, str) or key not in known:
+                errors[f"{prefix}{key}"] = "unknown field"
+        declared = data.get("schema_version")
+        if declared is not None and declared != SCHEMA_VERSION:
+            errors[f"{prefix}schema_version"] = (
+                f"version {declared!r} not supported (this endpoint speaks {SCHEMA_VERSION})"
+            )
+        decoded: Dict[str, Any] = {}
+        for spec in cls.FIELDS:
+            field_path = f"{prefix}{spec.name}"
+            if spec.name not in data:
+                if spec.required:
+                    errors[field_path] = "required field is missing"
+                else:
+                    decoded[spec.name] = None
+                continue
+            decoded[spec.name] = _decode_value(spec, data[spec.name], field_path, errors)
+        if errors:
+            return None
+        return cls(**decoded)
+
+
+def _encode_value(spec: FieldSpec, value: Any) -> Any:
+    if spec.kind == "hex":
+        return bytes(value).hex()
+    if spec.kind == "scalar":
+        return str(int(value))
+    if spec.kind == "array":
+        if isinstance(spec.item, type) and issubclass(spec.item, Schema):
+            return [item.to_json_dict() for item in value]
+        if spec.item == "scalar":
+            return [str(int(item)) for item in value]
+        return list(value)
+    if spec.kind == "schema":
+        return value.to_json_dict() if value is not None else None
+    if spec.kind in ("map-int", "map-string"):
+        return {str(key): value[key] for key in sorted(value)}
+    return value
+
+
+def _decode_primitive(
+    spec: FieldSpec, kind: str, value: Any, path: str, errors: Dict[str, str]
+) -> Any:
+    if kind == "string":
+        if not isinstance(value, str):
+            errors[path] = f"expected a string, got {type(value).__name__}"
+            return None
+        if not value and not spec.allow_empty:
+            errors[path] = "must not be empty"
+            return None
+        if len(value) > spec.max_length:
+            errors[path] = f"longer than {spec.max_length} characters"
+            return None
+        return value
+    if kind == "int":
+        if isinstance(value, bool) or not isinstance(value, int):
+            errors[path] = f"expected an integer, got {type(value).__name__}"
+            return None
+        if spec.min_value is not None and value < spec.min_value:
+            errors[path] = f"must be >= {spec.min_value}"
+            return None
+        if spec.max_value is not None and value > spec.max_value:
+            errors[path] = f"must be <= {spec.max_value}"
+            return None
+        return value
+    if kind == "float":
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            errors[path] = f"expected a number, got {type(value).__name__}"
+            return None
+        return float(value)
+    if kind == "bool":
+        if not isinstance(value, bool):
+            errors[path] = f"expected a boolean, got {type(value).__name__}"
+            return None
+        return value
+    if kind == "hex":
+        if not isinstance(value, str) or not value:
+            errors[path] = "expected a non-empty hex string"
+            return None
+        try:
+            return bytes.fromhex(value)
+        except ValueError:
+            errors[path] = "not valid hex"
+            return None
+    if kind == "scalar":
+        if not isinstance(value, str) or not value.isdigit():
+            errors[path] = "expected a decimal-string scalar"
+            return None
+        return int(value)
+    raise GatewayError(f"unhandled field kind {kind!r} in {path}")  # pragma: no cover
+
+
+def _decode_value(spec: FieldSpec, value: Any, path: str, errors: Dict[str, str]) -> Any:
+    if spec.kind == "array":
+        if not isinstance(value, list):
+            errors[path] = f"expected an array, got {type(value).__name__}"
+            return None
+        if not value and not spec.allow_empty:
+            errors[path] = "must not be empty"
+            return None
+        if spec.max_items is not None and len(value) > spec.max_items:
+            errors[path] = f"more than {spec.max_items} items"
+            return None
+        items: List[Any] = []
+        for index, element in enumerate(value):
+            item_path = f"{path}[{index}]"
+            if isinstance(spec.item, type) and issubclass(spec.item, Schema):
+                items.append(spec.item._from_json_dict(element, item_path, errors))
+            else:
+                assert isinstance(spec.item, str)
+                items.append(_decode_primitive(spec, spec.item, element, item_path, errors))
+        return items
+    if spec.kind == "schema":
+        assert isinstance(spec.item, type) and issubclass(spec.item, Schema)
+        return spec.item._from_json_dict(value, path, errors)
+    if spec.kind == "map-int":
+        if not isinstance(value, dict):
+            errors[path] = f"expected an object, got {type(value).__name__}"
+            return None
+        mapping: Dict[str, int] = {}
+        for key in sorted(value):
+            entry = value[key]
+            if isinstance(entry, bool) or not isinstance(entry, int):
+                errors[f"{path}.{key}"] = "expected an integer value"
+            else:
+                mapping[str(key)] = entry
+        return mapping
+    if spec.kind == "map-string":
+        if not isinstance(value, dict):
+            errors[path] = f"expected an object, got {type(value).__name__}"
+            return None
+        text_map: Dict[str, str] = {}
+        for key in sorted(value):
+            entry = value[key]
+            if not isinstance(entry, str):
+                errors[f"{path}.{key}"] = "expected a string value"
+            else:
+                text_map[str(key)] = entry
+        return text_map
+    return _decode_primitive(spec, spec.kind, value, path, errors)
+
+
+# ---------------------------------------------------------------------------
+# Concrete wire schemas
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ErrorBody(Schema):
+    """Every non-2xx response body."""
+
+    SCHEMA_NAME: ClassVar[str] = "ErrorBody"
+    FIELDS: ClassVar[Tuple[FieldSpec, ...]] = (
+        FieldSpec("error", "string", "human-readable error summary", max_length=2048),
+        FieldSpec("field_errors", "map-string", "per-field validation messages", required=False),
+        FieldSpec(
+            "retry_after_seconds",
+            "float",
+            "present on 429/503: retry after this many seconds",
+            required=False,
+        ),
+    )
+
+    error: str
+    field_errors: Optional[Dict[str, str]] = None
+    retry_after_seconds: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class CreateElectionRequest(Schema):
+    """``POST /v1/elections`` — provision a tenant and run its setup phase."""
+
+    SCHEMA_NAME: ClassVar[str] = "CreateElectionRequest"
+    FIELDS: ClassVar[Tuple[FieldSpec, ...]] = (
+        FieldSpec("election_id", "string", "tenant identifier (also the ballots' election id)", max_length=64),
+        FieldSpec("num_voters", "int", "electoral-roll size", min_value=1, max_value=1_000_000),
+        FieldSpec("num_options", "int", "number of ballot choices", min_value=2, max_value=64),
+        FieldSpec(
+            "num_authority_members",
+            "int",
+            "authority DKG size (default 3)",
+            required=False,
+            min_value=2,
+            max_value=16,
+        ),
+        FieldSpec(
+            "group",
+            "string",
+            "named election group (default: the server's --group)",
+            required=False,
+            max_length=64,
+        ),
+    )
+
+    election_id: str
+    num_voters: int
+    num_options: int
+    num_authority_members: Optional[int] = None
+    group: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ElectionInfo(Schema):
+    """``GET /v1/elections/{id}`` — everything a casting client needs."""
+
+    SCHEMA_NAME: ClassVar[str] = "ElectionInfo"
+    FIELDS: ClassVar[Tuple[FieldSpec, ...]] = (
+        FieldSpec("election_id", "string", "tenant identifier", max_length=64),
+        FieldSpec("status", "string", "open | closed | tallied", max_length=16),
+        FieldSpec("group", "string", "named group clients must rebuild", max_length=64),
+        FieldSpec("generator", "hex", "the group generator (sanity anchor)"),
+        FieldSpec("authority_public_key", "hex", "collective ElGamal key ballots encrypt to"),
+        FieldSpec("num_options", "int", "number of ballot choices", min_value=1),
+        FieldSpec("num_voters", "int", "electoral-roll size", min_value=0),
+        FieldSpec("num_registered", "int", "voters with an active registration", min_value=0),
+        FieldSpec("num_ballots", "int", "ballots on the ledger (flushed)", min_value=0),
+        FieldSpec("pending_casts", "int", "casts admitted but not yet flushed", min_value=0),
+    )
+
+    election_id: str
+    status: str
+    group: str
+    generator: bytes
+    authority_public_key: bytes
+    num_options: int
+    num_voters: int
+    num_registered: int
+    num_ballots: int
+    pending_casts: int
+
+
+@dataclass(frozen=True)
+class RegisterRequest(Schema):
+    """``POST /v1/elections/{id}/registrations`` body."""
+
+    SCHEMA_NAME: ClassVar[str] = "RegisterRequest"
+    FIELDS: ClassVar[Tuple[FieldSpec, ...]] = (
+        FieldSpec("voter_id", "string", "roll identifier of the voter to register", max_length=128),
+    )
+
+    voter_id: str
+
+
+@dataclass(frozen=True)
+class CredentialWire(Schema):
+    """An activated credential, returned to the voter's device.
+
+    This models the paper's in-person hand-off of activated credential
+    material to the voter: it exists **only** in the registration response
+    (never on the ledger, never in logs or telemetry).
+    """
+
+    SCHEMA_NAME: ClassVar[str] = "CredentialWire"
+    FIELDS: ClassVar[Tuple[FieldSpec, ...]] = (
+        FieldSpec("voter_id", "string", "owning voter", max_length=128),
+        FieldSpec("secret_key", "scalar", "credential signing key (device-private)"),
+        FieldSpec("public_key", "hex", "credential public key (what the ledger sees)"),
+        FieldSpec("is_real", "bool", "real (counting) vs fake (coercion-decoy) credential"),
+    )
+
+    voter_id: str
+    secret_key: int
+    public_key: bytes
+    is_real: bool
+
+
+@dataclass(frozen=True)
+class RegisterResponse(Schema):
+    """``POST /v1/elections/{id}/registrations`` result."""
+
+    SCHEMA_NAME: ClassVar[str] = "RegisterResponse"
+    FIELDS: ClassVar[Tuple[FieldSpec, ...]] = (
+        FieldSpec("voter_id", "string", "registered voter", max_length=128),
+        FieldSpec("ledger_seq", "int", "registration record's ledger sequence number", min_value=0),
+        FieldSpec(
+            "credentials",
+            "array",
+            "activated credentials (first real, then fakes)",
+            item=CredentialWire,
+            max_items=64,
+        ),
+    )
+
+    voter_id: str
+    ledger_seq: int
+    credentials: List[CredentialWire] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class BallotWire(Schema):
+    """One signed encrypted ballot, exactly the fields of a ledger
+    :class:`~repro.ledger.records.BallotRecord`."""
+
+    SCHEMA_NAME: ClassVar[str] = "BallotWire"
+    FIELDS: ClassVar[Tuple[FieldSpec, ...]] = (
+        FieldSpec("credential_public_key", "hex", "casting credential (real or fake)"),
+        FieldSpec("ciphertext_c1", "hex", "ElGamal ciphertext, first component"),
+        FieldSpec("ciphertext_c2", "hex", "ElGamal ciphertext, second component"),
+        FieldSpec("signature_commitment", "hex", "Schnorr signature commitment R"),
+        FieldSpec("signature_response", "scalar", "Schnorr signature response s"),
+        FieldSpec("election_id", "string", "election the ballot belongs to", max_length=64),
+    )
+
+    credential_public_key: bytes
+    ciphertext_c1: bytes
+    ciphertext_c2: bytes
+    signature_commitment: bytes
+    signature_response: int
+    election_id: str
+
+
+@dataclass(frozen=True)
+class CastRequest(Schema):
+    """``POST /v1/elections/{id}/ballots`` — cast a micro-batch of ballots."""
+
+    SCHEMA_NAME: ClassVar[str] = "CastRequest"
+    FIELDS: ClassVar[Tuple[FieldSpec, ...]] = (
+        FieldSpec(
+            "ballots",
+            "array",
+            f"1..{MAX_CAST_BATCH} ballots admitted as one batch",
+            item=BallotWire,
+            max_items=MAX_CAST_BATCH,
+        ),
+    )
+
+    ballots: List[BallotWire] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class CastResponse(Schema):
+    """Ledger receipts for an admitted cast batch."""
+
+    SCHEMA_NAME: ClassVar[str] = "CastResponse"
+    FIELDS: ClassVar[Tuple[FieldSpec, ...]] = (
+        FieldSpec(
+            "ledger_seqs",
+            "array",
+            "sequence numbers, one per ballot, in request order",
+            item="int",
+            max_items=MAX_CAST_BATCH,
+        ),
+    )
+
+    ledger_seqs: List[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class TallyResponse(Schema):
+    """``POST /v1/elections/{id}/tally`` and ``GET .../tally`` result."""
+
+    SCHEMA_NAME: ClassVar[str] = "TallyResponse"
+    FIELDS: ClassVar[Tuple[FieldSpec, ...]] = (
+        FieldSpec("election_id", "string", "tallied election", max_length=64),
+        FieldSpec("counts", "map-int", "per-option vote counts (keys are option indices)"),
+        FieldSpec("turnout", "int", "counted ballots", min_value=0),
+        FieldSpec("num_ballots_on_ledger", "int", "ballots read from the ledger", min_value=0),
+        FieldSpec("num_valid_ballots", "int", "ballots passing signature/proof checks", min_value=0),
+        FieldSpec("num_counted", "int", "ballots surviving tag filtering", min_value=0),
+        FieldSpec("num_discarded", "int", "fake-credential ballots discarded", min_value=0),
+        FieldSpec("winner", "int", "winning option index", min_value=0),
+    )
+
+    election_id: str
+    counts: Dict[str, int]
+    turnout: int
+    num_ballots_on_ledger: int
+    num_valid_ballots: int
+    num_counted: int
+    num_discarded: int
+    winner: int
+
+
+@dataclass(frozen=True)
+class AuditReportWire(Schema):
+    """``GET /v1/elections/{id}/audit/report`` — the cached audit outcome."""
+
+    SCHEMA_NAME: ClassVar[str] = "AuditReportWire"
+    FIELDS: ClassVar[Tuple[FieldSpec, ...]] = (
+        FieldSpec("election_id", "string", "audited election", max_length=64),
+        FieldSpec("ok", "bool", "did every check pass"),
+        FieldSpec("strategy", "string", "verifier strategy that produced the report", max_length=32),
+        FieldSpec("num_checks", "int", "checks executed", min_value=0),
+        FieldSpec("num_failed", "int", "checks failed", min_value=0),
+        FieldSpec("fingerprint", "string", "canonical outcome digest (strategy-independent)", max_length=64),
+        FieldSpec("elapsed_seconds", "float", "audit wall-clock seconds"),
+        FieldSpec(
+            "failures",
+            "array",
+            "failure loci (empty when ok)",
+            item="string",
+            allow_empty=True,
+            max_items=1024,
+        ),
+    )
+
+    election_id: str
+    ok: bool
+    strategy: str
+    num_checks: int
+    num_failed: int
+    fingerprint: str
+    elapsed_seconds: float
+    failures: List[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class HealthResponse(Schema):
+    """``GET /healthz`` — liveness plus a drain indicator for balancers."""
+
+    SCHEMA_NAME: ClassVar[str] = "HealthResponse"
+    FIELDS: ClassVar[Tuple[FieldSpec, ...]] = (
+        FieldSpec("status", "string", "ok | draining", max_length=16),
+        FieldSpec("elections", "int", "provisioned tenants", min_value=0),
+        FieldSpec("uptime_seconds", "float", "seconds since the service started"),
+    )
+
+    status: str
+    elections: int
+    uptime_seconds: float
+
+
+@dataclass(frozen=True)
+class AuditStreamEvent(Schema):
+    """One WebSocket message on ``/v1/elections/{id}/audit/stream``."""
+
+    SCHEMA_NAME: ClassVar[str] = "AuditStreamEvent"
+    FIELDS: ClassVar[Tuple[FieldSpec, ...]] = (
+        FieldSpec("event", "string", "status | audit-report", max_length=32),
+        FieldSpec("election_id", "string", "subscribed election", max_length=64),
+        FieldSpec("status", "string", "election status at emission time", max_length=16),
+        FieldSpec("report", "schema", "present on audit-report events", item=AuditReportWire, required=False),
+    )
+
+    event: str
+    election_id: str
+    status: str
+    report: Optional[AuditReportWire] = None
+
+
+# ---------------------------------------------------------------------------
+# Domain conversions (wire <-> ledger records / credentials)
+# ---------------------------------------------------------------------------
+
+
+def ballot_to_wire(record: BallotRecord) -> BallotWire:
+    """Encode a ledger ballot record for the wire (lossless)."""
+    return BallotWire(
+        credential_public_key=record.credential_public_key.to_bytes(),
+        ciphertext_c1=record.ciphertext_c1.to_bytes(),
+        ciphertext_c2=record.ciphertext_c2.to_bytes(),
+        signature_commitment=record.signature.commitment.to_bytes(),
+        signature_response=record.signature.response,
+        election_id=record.election_id,
+    )
+
+
+def ballot_from_wire(group: Group, wire: BallotWire, path: str = "ballot") -> BallotRecord:
+    """Decode a wire ballot into a ledger record over ``group``.
+
+    Element decoding is strict — bytes that do not name a group member raise
+    :class:`SchemaError` with the offending field's path, so a malformed cast
+    is a 400 naming the field, not a 500 deep inside the ledger.
+    """
+
+    def element(name: str, data: bytes) -> GroupElement:
+        try:
+            candidate = group.element_from_bytes(data)
+        except Exception:  # backends raise varied types on corrupt encodings
+            raise SchemaError({f"{path}.{name}": "not a valid group element"}) from None
+        return candidate
+
+    record = BallotRecord(
+        credential_public_key=element("credential_public_key", wire.credential_public_key),
+        ciphertext_c1=element("ciphertext_c1", wire.ciphertext_c1),
+        ciphertext_c2=element("ciphertext_c2", wire.ciphertext_c2),
+        signature=SchnorrSignature(
+            commitment=element("signature_commitment", wire.signature_commitment),
+            response=wire.signature_response,
+        ),
+        election_id=wire.election_id,
+    )
+    return record
+
+
+def schema_catalog() -> Dict[str, Type[Schema]]:
+    """Every registered schema, by name (docs and the doc-sync test)."""
+    return dict(SCHEMAS)
+
+
+def schema_markdown(schema: Type[Schema]) -> str:
+    """A markdown table for one schema — the docs are derived, not hand-kept."""
+    lines = [
+        f"### `{schema.SCHEMA_NAME}`",
+        "",
+        "| field | type | required | description |",
+        "|---|---|---|---|",
+    ]
+    for spec in schema.FIELDS:
+        required = "yes" if spec.required else "no"
+        lines.append(f"| `{spec.name}` | `{spec.wire_type()}` | {required} | {spec.doc} |")
+    return "\n".join(lines)

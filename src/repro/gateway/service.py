@@ -1,0 +1,529 @@
+"""The gateway's domain layer: tenants, micro-batch admission, and drain.
+
+One :class:`GatewayService` hosts many **tenants** — fully independent
+elections, each with its own bulletin board, authority, registrar, admission
+queue and governor.  The HTTP layer (:mod:`repro.gateway.routes`) is a thin
+adapter over this class, so every behaviour here is testable without a
+socket.
+
+The cast path is the part worth reading twice.  A ``POST .../ballots`` does
+not append to the ledger synchronously; it runs the governor's admission
+checks, parks each ballot on the tenant's queue with a future, and awaits
+the futures.  A single **admitter** coroutine per tenant collects queued
+ballots into micro-batches (up to ``batch_size`` records or
+``batch_window_seconds``, whichever first) and posts each batch through the
+existing :class:`~repro.ledger.backends.batched.AsyncIngestionFrontend` into
+a :class:`~repro.ledger.backends.batched.BatchedBoard`.  Concurrent HTTP
+clients therefore share flush work exactly like in-process bulk callers do —
+and because admission order is append order, the resulting hash chain is
+byte-identical to casting the same records in-process.
+
+Threading model: all mutable state is owned by the event loop.  Blocking
+domain work (setup, registration, tally, audit) runs in worker threads via
+``asyncio.to_thread``; nothing in this module takes a lock around blocking
+calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import telemetry
+from repro.crypto.registry import group_by_name
+from repro.errors import GatewayError
+from repro.gateway.governor import GovernorConfig, TenantGovernor
+from repro.gateway.schemas import (
+    AuditReportWire,
+    AuditStreamEvent,
+    CastRequest,
+    CreateElectionRequest,
+    CredentialWire,
+    ElectionInfo,
+    HealthResponse,
+    RegisterRequest,
+    RegisterResponse,
+    SchemaError,
+    TallyResponse,
+    ballot_from_wire,
+)
+from repro.ledger.api import board_from_spec
+from repro.ledger.backends.batched import AsyncIngestionFrontend, BatchedBoard
+from repro.ledger.bulletin_board import BulletinBoard
+from repro.ledger.records import BallotRecord
+from repro.registration.protocol import RegistrationSession
+from repro.registration.setup import ElectionSetup
+from repro.registration.voter import Voter
+from repro.runtime.executor import executor_from_spec
+from repro.tally.pipeline import TallyPipeline, TallyResult
+
+STATUS_OPEN = "open"
+STATUS_CLOSED = "closed"
+STATUS_TALLIED = "tallied"
+
+
+class UnknownElectionError(GatewayError):
+    """No tenant with that election id (HTTP 404)."""
+
+
+class ConflictError(GatewayError):
+    """The operation is invalid in the election's current status (HTTP 409)."""
+
+
+class ShedError(GatewayError):
+    """The governor refused admission (HTTP 429 + Retry-After)."""
+
+    def __init__(self, reason: str, retry_after_seconds: float) -> None:
+        super().__init__(f"request shed: {reason}")
+        self.retry_after_seconds = retry_after_seconds
+
+
+class DrainingError(GatewayError):
+    """The service is shutting down and refuses new work (HTTP 503)."""
+
+    def __init__(self) -> None:
+        super().__init__("service is draining")
+        self.retry_after_seconds = 1.0
+
+
+@dataclass
+class ServiceConfig:
+    """Everything one gateway process is parameterized by."""
+
+    group_name: str = "toy"
+    board_spec: str = "memory"
+    executor_spec: str = "serial"
+    audit_spec: str = "batched"
+    num_mixers: int = 2
+    proof_rounds: int = 2
+    governor: GovernorConfig = field(default_factory=GovernorConfig.from_env)
+
+
+_CastItem = Tuple[BallotRecord, "asyncio.Future[int]"]
+
+
+class ElectionTenant:
+    """One hosted election: board, actors, admission queue, and status."""
+
+    def __init__(
+        self,
+        election_id: str,
+        group_name: str,
+        setup: ElectionSetup,
+        session: RegistrationSession,
+        num_voters: int,
+        num_options: int,
+        service_config: ServiceConfig,
+    ) -> None:
+        self.election_id = election_id
+        self.group_name = group_name
+        self.setup = setup
+        self.session = session
+        self.num_voters = num_voters
+        self.num_options = num_options
+        self.service_config = service_config
+        self.status = STATUS_OPEN
+        self.governor = TenantGovernor(config=service_config.governor)
+        self.frontend = AsyncIngestionFrontend(setup.board.backend)
+        # Unbounded on purpose: the governor bounds depth *before* anything
+        # is enqueued, so puts never block and never need a lock.
+        self._pending: "asyncio.Queue[Optional[_CastItem]]" = asyncio.Queue()
+        self._admitter: Optional["asyncio.Task[None]"] = None
+        self._registration_gate = asyncio.Lock()
+        self._subscribers: List["asyncio.Queue[Optional[AuditStreamEvent]]"] = []
+        self.tally_result: Optional[TallyResult] = None
+        self._audit_cache: Optional[Tuple[Tuple[str, int], AuditReportWire]] = None
+
+    # ------------------------------------------------------------------ admitter
+
+    def start(self) -> None:
+        self._admitter = asyncio.get_running_loop().create_task(self._admit_loop())
+
+    async def _admit_loop(self) -> None:
+        """Collect queued casts into micro-batches and post them as one append."""
+        config = self.service_config.governor
+        stopping = False
+        while not stopping:
+            item = await self._pending.get()
+            if item is None:
+                break
+            batch: List[_CastItem] = [item]
+            deadline = time.monotonic() + config.batch_window_seconds
+            while len(batch) < config.batch_size:
+                # Prefer whatever is already queued; only wait out the window
+                # when the queue momentarily runs dry.
+                if self._pending.empty():
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    try:
+                        extra = await asyncio.wait_for(self._pending.get(), timeout=remaining)
+                    except asyncio.TimeoutError:
+                        break
+                else:
+                    extra = self._pending.get_nowait()
+                if extra is None:
+                    stopping = True
+                    break
+                batch.append(extra)
+            await self._admit_batch(batch)
+        # Drain mode: flush anything still buffered down to the inner chains.
+        await self.frontend.drain()
+
+    async def _admit_batch(self, batch: List[_CastItem]) -> None:
+        records = [record for record, _ in batch]
+        try:
+            with telemetry.span("gateway.batch.admit", election=self.election_id, size=len(batch)):
+                seqs = await self.frontend.post_ballots(records)
+        except Exception as error:
+            telemetry.counter("gateway.errors", len(batch))
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(GatewayError(f"ledger append failed: {error}"))
+            return
+        finally:
+            self.governor.queued -= len(batch)
+            telemetry.gauge("gateway.queue.depth", self.governor.queued, election=self.election_id)
+        telemetry.histogram("gateway.batch.size", len(batch), election=self.election_id)
+        telemetry.counter("gateway.casts", len(batch))
+        for (_, future), seq in zip(batch, seqs):
+            if not future.done():
+                future.set_result(seq)
+
+    async def stop_admitter(self) -> None:
+        if self._admitter is None:
+            return
+        self._pending.put_nowait(None)
+        await self._admitter
+        self._admitter = None
+
+    # ------------------------------------------------------------------ casting
+
+    async def cast(self, client_key: str, request: CastRequest) -> List[int]:
+        if self.status != STATUS_OPEN:
+            raise ConflictError(
+                f"election {self.election_id!r} is {self.status}; casting requires open"
+            )
+        records = [
+            ballot_from_wire(self.setup.group, wire, path=f"ballots[{index}]")
+            for index, wire in enumerate(request.ballots)
+        ]
+        for index, record in enumerate(records):
+            if record.election_id != self.election_id:
+                raise SchemaError(
+                    {f"ballots[{index}].election_id": f"ballot is for {record.election_id!r}"}
+                )
+        admission = self.governor.admit_cast(client_key, len(records), time.monotonic())
+        if not admission.allowed:
+            telemetry.counter("gateway.shed", len(records))
+            raise ShedError(admission.reason, admission.retry_after_seconds)
+        loop = asyncio.get_running_loop()
+        futures: List["asyncio.Future[int]"] = [loop.create_future() for _ in records]
+        self.governor.queued += len(records)
+        telemetry.gauge("gateway.queue.depth", self.governor.queued, election=self.election_id)
+        for record, future in zip(records, futures):
+            self._pending.put_nowait((record, future))
+        return list(await asyncio.gather(*futures))
+
+    # ------------------------------------------------------------- registration
+
+    async def register(self, request: RegisterRequest) -> RegisterResponse:
+        if self.status != STATUS_OPEN:
+            raise ConflictError(
+                f"election {self.election_id!r} is {self.status}; registration requires open"
+            )
+        board = self.setup.board
+        if not board.is_eligible(request.voter_id):
+            raise SchemaError({"voter_id": "not on the electoral roll"})
+        if board.registration_for(request.voter_id) is not None:
+            raise ConflictError(f"voter {request.voter_id!r} is already registered")
+        # The registrar actors (kiosk, official, booth supply) are stateful,
+        # so registrations are serialized per tenant; the crypto still runs
+        # off-loop in a worker thread.
+        async with self._registration_gate:
+            return await asyncio.to_thread(self._register_blocking, request.voter_id)
+
+    def _register_blocking(self, voter_id: str) -> RegisterResponse:
+        outcome = self.session.register(Voter(voter_id=voter_id))
+        log = self.setup.board.registration_log
+        payload = outcome.record.payload()
+        ledger_seq = max(
+            entry.index for entry in log.entries() if entry.payload == payload
+        )
+        credentials = [
+            CredentialWire(
+                voter_id=voter_id,
+                secret_key=report.credential.secret_key,
+                public_key=report.credential.public_key.to_bytes(),
+                is_real=report.credential.is_real,
+            )
+            for report in outcome.activation_reports
+            if report.success and report.credential is not None
+        ]
+        return RegisterResponse(voter_id=voter_id, ledger_seq=ledger_seq, credentials=credentials)
+
+    # ---------------------------------------------------------------- lifecycle
+
+    async def close(self) -> None:
+        if self.status != STATUS_OPEN:
+            raise ConflictError(f"election {self.election_id!r} is already {self.status}")
+        self.status = STATUS_CLOSED
+        await self.stop_admitter()
+        self._publish(AuditStreamEvent(event="status", election_id=self.election_id, status=self.status))
+
+    async def tally(self) -> TallyResponse:
+        if self.status == STATUS_OPEN:
+            raise ConflictError(f"election {self.election_id!r} must be closed before tallying")
+        if self.tally_result is None:
+            self.tally_result = await asyncio.to_thread(self._tally_blocking)
+            self.status = STATUS_TALLIED
+            self._publish(
+                AuditStreamEvent(event="status", election_id=self.election_id, status=self.status)
+            )
+        result = self.tally_result
+        return TallyResponse(
+            election_id=self.election_id,
+            counts={str(option): count for option, count in result.counts.items()},
+            turnout=result.turnout,
+            num_ballots_on_ledger=result.num_ballots_on_ledger,
+            num_valid_ballots=result.num_valid_ballots,
+            num_counted=result.num_counted,
+            num_discarded=result.num_discarded,
+            winner=result.winner(),
+        )
+
+    def _tally_blocking(self) -> TallyResult:
+        executor = executor_from_spec(self.service_config.executor_spec)
+        pipeline = TallyPipeline(
+            group=self.setup.group,
+            authority=self.setup.authority,
+            num_mixers=self.service_config.num_mixers,
+            proof_rounds=self.service_config.proof_rounds,
+            executor=executor,
+        )
+        return pipeline.run(self.setup.board, self.num_options, election_id=self.election_id)
+
+    async def audit_report(self) -> AuditReportWire:
+        if self.status == STATUS_OPEN:
+            raise ConflictError(f"election {self.election_id!r} must be closed before auditing")
+        cache_key = (self.status, self.setup.board.num_ballots)
+        if self._audit_cache is not None and self._audit_cache[0] == cache_key:
+            return self._audit_cache[1]
+        wire = await asyncio.to_thread(self._audit_blocking)
+        self._audit_cache = (cache_key, wire)
+        self._publish(
+            AuditStreamEvent(
+                event="audit-report",
+                election_id=self.election_id,
+                status=self.status,
+                report=wire,
+            )
+        )
+        return wire
+
+    def _audit_blocking(self) -> AuditReportWire:
+        from repro.audit.checks import audit_election
+        from repro.election.config import ElectionConfig
+
+        started = time.monotonic()
+        config = ElectionConfig(
+            election_id=self.election_id, audit_spec=self.service_config.audit_spec
+        )
+        report = audit_election(
+            self.setup.board,
+            config=config,
+            authority=self.setup.authority,
+            result=self.tally_result,
+            kiosk_public_keys=self.setup.registrar.kiosk_public_keys,
+        )
+        return AuditReportWire(
+            election_id=self.election_id,
+            ok=report.ok,
+            strategy=self.service_config.audit_spec,
+            num_checks=report.num_checks,
+            num_failed=report.num_failed,
+            fingerprint=report.fingerprint(),
+            elapsed_seconds=time.monotonic() - started,
+            failures=[f"{failure.kind}:{failure.name}" for failure in report.failures],
+        )
+
+    async def shutdown(self) -> None:
+        """Drain the admission queue, flush the board, release resources."""
+        await self.stop_admitter()
+        for queue in self._subscribers:
+            queue.put_nowait(None)
+        self._subscribers.clear()
+        await asyncio.to_thread(self.setup.board.close)
+
+    # ------------------------------------------------------------------ queries
+
+    def info(self) -> ElectionInfo:
+        board = self.setup.board
+        return ElectionInfo(
+            election_id=self.election_id,
+            status=self.status,
+            group=self.group_name,
+            generator=self.setup.group.generator.to_bytes(),
+            authority_public_key=self.setup.authority_public_key.to_bytes(),
+            num_options=self.num_options,
+            num_voters=self.num_voters,
+            num_registered=board.num_registered,
+            num_ballots=board.num_ballots,
+            pending_casts=self.governor.queued,
+        )
+
+    # -------------------------------------------------------------- subscribers
+
+    def subscribe(self) -> "asyncio.Queue[Optional[AuditStreamEvent]]":
+        queue: "asyncio.Queue[Optional[AuditStreamEvent]]" = asyncio.Queue()
+        self._subscribers.append(queue)
+        queue.put_nowait(
+            AuditStreamEvent(event="status", election_id=self.election_id, status=self.status)
+        )
+        return queue
+
+    def unsubscribe(self, queue: "asyncio.Queue[Optional[AuditStreamEvent]]") -> None:
+        if queue in self._subscribers:
+            self._subscribers.remove(queue)
+
+    def _publish(self, event: AuditStreamEvent) -> None:
+        for queue in self._subscribers:
+            queue.put_nowait(event)
+            telemetry.counter("gateway.ws.events")
+
+
+class GatewayService:
+    """The multi-tenant front door the HTTP routes adapt onto."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.tenants: Dict[str, ElectionTenant] = {}
+        self.draining = False
+        self._started_at = time.monotonic()
+
+    # ----------------------------------------------------------------- tenants
+
+    def tenant(self, election_id: str) -> ElectionTenant:
+        tenant = self.tenants.get(election_id)
+        if tenant is None:
+            raise UnknownElectionError(f"no election {election_id!r} on this gateway")
+        return tenant
+
+    async def create_election(self, request: CreateElectionRequest) -> ElectionInfo:
+        self._refuse_if_draining()
+        if request.election_id in self.tenants:
+            raise ConflictError(f"election {request.election_id!r} already exists")
+        group_name = request.group or self.config.group_name
+        try:
+            group_by_name(group_name)
+        except ValueError as error:
+            raise SchemaError({"group": str(error)}) from None
+        tenant = await asyncio.to_thread(self._build_tenant, request, group_name)
+        # Re-check after the blocking build: a concurrent create for the same
+        # id may have landed while this one was in the worker thread.
+        if request.election_id in self.tenants:
+            await tenant.shutdown()
+            raise ConflictError(f"election {request.election_id!r} already exists")
+        self.tenants[request.election_id] = tenant
+        tenant.start()
+        return tenant.info()
+
+    def _build_tenant(self, request: CreateElectionRequest, group_name: str) -> ElectionTenant:
+        group = group_by_name(group_name)
+        backend = board_from_spec(self.config.board_spec, group=group)
+        if not isinstance(backend, BatchedBoard):
+            backend = BatchedBoard(backend, batch_size=self.config.governor.batch_size)
+        board = BulletinBoard(backend)
+        width = max(4, len(str(request.num_voters)))
+        voter_ids = [f"voter-{index:0{width}d}" for index in range(request.num_voters)]
+        setup = ElectionSetup.run(
+            group,
+            voter_ids,
+            num_authority_members=request.num_authority_members or 3,
+            board=board,
+        )
+        session = RegistrationSession(setup=setup)
+        return ElectionTenant(
+            election_id=request.election_id,
+            group_name=group_name,
+            setup=setup,
+            session=session,
+            num_voters=request.num_voters,
+            num_options=request.num_options,
+            service_config=self.config,
+        )
+
+    # ---------------------------------------------------------------- handlers
+
+    async def register(self, election_id: str, request: RegisterRequest) -> RegisterResponse:
+        self._refuse_if_draining()
+        return await self.tenant(election_id).register(request)
+
+    async def cast(self, election_id: str, client_key: str, request: CastRequest) -> List[int]:
+        self._refuse_if_draining()
+        return await self.tenant(election_id).cast(client_key, request)
+
+    async def close_election(self, election_id: str) -> ElectionInfo:
+        tenant = self.tenant(election_id)
+        await tenant.close()
+        return tenant.info()
+
+    async def tally(self, election_id: str) -> TallyResponse:
+        self._refuse_if_draining()
+        return await self.tenant(election_id).tally()
+
+    async def audit_report(self, election_id: str) -> AuditReportWire:
+        return await self.tenant(election_id).audit_report()
+
+    def health(self) -> HealthResponse:
+        return HealthResponse(
+            status="draining" if self.draining else "ok",
+            elections=len(self.tenants),
+            uptime_seconds=time.monotonic() - self._started_at,
+        )
+
+    def metrics(self) -> str:
+        for election_id, tenant in sorted(self.tenants.items()):
+            telemetry.gauge(
+                "gateway.queue.depth", tenant.governor.queued, election=election_id
+            )
+        return telemetry.snapshot().to_prometheus()
+
+    # ---------------------------------------------------------------- shutdown
+
+    def _refuse_if_draining(self) -> None:
+        if self.draining:
+            raise DrainingError()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: refuse new work, finish queued casts, flush boards."""
+        if self.draining:
+            return
+        self.draining = True
+        for tenant in self.tenants.values():
+            await tenant.shutdown()
+
+
+def service_from_config(config: Any) -> GatewayService:
+    """Build a :class:`GatewayService` from an :class:`ElectionConfig`-like object.
+
+    Maps the election's deployment specs (board, executor, audit, group
+    factory, mixing/proof parameters) onto a :class:`ServiceConfig`; the
+    ``gateway_spec`` grammar itself is parsed by
+    :func:`repro.gateway.routes.server_from_spec`.
+    """
+    group = config.group_factory()
+    group_name = getattr(group, "name", None) or "toy"
+    return GatewayService(
+        ServiceConfig(
+            group_name=group_name,
+            board_spec=getattr(config, "board_spec", "memory"),
+            executor_spec=getattr(config, "executor_spec", "serial"),
+            audit_spec=getattr(config, "audit_spec", "batched"),
+            num_mixers=getattr(config, "num_mixers", 2),
+            proof_rounds=getattr(config, "proof_rounds", 2),
+            governor=GovernorConfig.from_env(),
+        )
+    )

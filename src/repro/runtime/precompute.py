@@ -445,18 +445,11 @@ def _warm_main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - C
     )
     args = parser.parse_args(argv)
 
-    from repro.crypto.ed25519 import ed25519_group
-    from repro.crypto.modp_group import modp_group_256, modp_group_2048, modp_group_3072
+    from repro.crypto.registry import group_by_name
 
-    factories = {
-        "modp-2048": modp_group_2048,
-        "modp-3072": modp_group_3072,
-        "modp-256": modp_group_256,
-        "ed25519": ed25519_group,
-    }
     set_disk_cache(args.cache_dir)
     for name in args.groups:
-        group = factories[name]()
+        group = group_by_name(name)
         table = warm_fixed_base(group.generator)
         status = "skipped (small group)" if table is None else f"{table.num_group_elements} elements"
         print(f"warmed {name}: {status}")

@@ -32,6 +32,8 @@ SPAN_NAMES: FrozenSet[str] = frozenset(
         "cluster.warm",
         "executor.map",
         "executor.warm",
+        "gateway.batch.admit",
+        "gateway.request",
         "ledger.append",
         "ledger.flush",
         "ledger.read",
@@ -56,6 +58,10 @@ COUNTER_NAMES: FrozenSet[str] = frozenset(
         "cluster.heartbeat.miss",
         "cluster.reassign",
         "cluster.worker.lost",
+        "gateway.casts",
+        "gateway.errors",
+        "gateway.shed",
+        "gateway.ws.events",
         "ledger.append.ballots",
         "pipeline.backpressure.stalls",
     }
@@ -65,6 +71,7 @@ COUNTER_NAMES: FrozenSet[str] = frozenset(
 
 GAUGE_NAMES: FrozenSet[str] = frozenset(
     {
+        "gateway.queue.depth",
         "pipeline.queue.depth",
     }
 )
@@ -73,6 +80,7 @@ GAUGE_NAMES: FrozenSet[str] = frozenset(
 
 HISTOGRAM_NAMES: FrozenSet[str] = frozenset(
     {
+        "gateway.batch.size",
         "ledger.flush.records",
     }
 )

@@ -1,0 +1,70 @@
+"""The WebSocket audit stream: status events and the audit-report push."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.gateway.client import CastingSession
+from repro.gateway.http import websocket_accept_value
+
+
+def test_accept_value_matches_rfc6455_example():
+    # The worked example from RFC 6455 section 1.3.
+    assert (
+        websocket_accept_value("dGhlIHNhbXBsZSBub25jZQ==")
+        == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+    )
+
+
+def test_audit_stream_delivers_status_and_report(gateway):
+    client = gateway.client(client_id="ws")
+    client.create_election("ws-demo", 4, 2)
+    session = CastingSession(client, "ws-demo")
+    session.refresh()
+    credential = session.register("voter-0000").credentials[0]
+    session.cast([(credential, 1)])
+
+    events = []
+    got_report = threading.Event()
+
+    def subscriber() -> None:
+        stream_client = gateway.client(client_id="ws-sub")
+        for event in stream_client.audit_stream("ws-demo"):
+            events.append(event)
+            if event.event == "audit-report":
+                got_report.set()
+                return
+
+    thread = threading.Thread(target=subscriber, daemon=True)
+    thread.start()
+
+    client.close_election("ws-demo")
+    client.tally("ws-demo")
+    report = client.audit_report("ws-demo")
+
+    assert got_report.wait(timeout=60), f"no audit-report event; saw {events}"
+    thread.join(timeout=10)
+
+    kinds = [event.event for event in events]
+    assert kinds[0] == "status"  # the snapshot pushed on subscribe
+    assert "audit-report" in kinds
+    statuses = [event.status for event in events if event.event == "status"]
+    assert statuses[0] in ("open", "closed", "tallied")
+
+    pushed = events[-1]
+    assert pushed.report is not None
+    assert pushed.report.fingerprint == report.fingerprint
+    assert pushed.report.ok == report.ok
+    client.close()
+
+
+def test_audit_stream_unknown_election_rejected(gateway):
+    import pytest
+
+    from repro.errors import GatewayError
+
+    client = gateway.client()
+    with pytest.raises(GatewayError):
+        for _ in client.audit_stream("missing"):
+            break
+    client.close()
