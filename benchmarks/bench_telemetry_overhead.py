@@ -24,11 +24,23 @@ this deliberately small workload size: the gate is ``ratio`` or the slack,
 whichever is larger.  Results land in ``BENCH_telemetry.json``; the enabled
 run's trace and its rendered summary are exported next to it so CI uploads
 a real trace artifact from every bench-smoke run.
+
+A second leg measures tracing on the *gateway request path* against a live
+loopback server — the worst case for context propagation, because a
+``/healthz`` round trip does almost no other work to amortise it.  The gate
+(same ``MAX_ENABLED_OVERHEAD``) sits on the **sampling-off** configuration:
+with ``REPRO_TELEMETRY_SAMPLE=0`` every request still pays contextvars,
+``traceparent`` parse/mint, and the latency histogram, but records no spans
+— exactly the machinery that must stay effectively free so head sampling is
+a real knob.  The fully-sampled configuration is measured and reported in
+``BENCH_telemetry_gateway.json`` alongside it, so the bench trend guard
+watches both.
 """
 
 from __future__ import annotations
 
 import contextlib
+import http.client
 import os
 import time
 from pathlib import Path
@@ -37,14 +49,25 @@ from repro import telemetry
 from repro.bench.harness import ResultTable, emit_bench_json, format_seconds
 from repro.bench.workloads import tally_workload
 from repro.crypto.modp_group import modp_group_2048
+from repro.gateway.service import ServiceConfig
 from repro.tally.pipeline import TallyPipeline
 from repro.telemetry import TelemetrySnapshot
+from repro.telemetry.context import SAMPLE_ENV
 
 NUM_VOTERS = 4
 NUM_MEMBERS = 3
 NUM_MIXERS = 2
 PROOF_ROUNDS = 2
 REPEATS = 5
+
+#: The gateway leg: tiny requests, so tracing has nothing to hide behind.
+GATEWAY_REQUESTS = 150
+GATEWAY_REPEATS = 7
+#: Socket ping-pong pays scheduler wakeups per round trip, so its jitter
+#: floor is higher than the pure-compute tally legs'; the leg gets a wider
+#: absolute slack to match (the ratio gate still binds on any machine where
+#: the workload takes long enough for ratios to mean anything).
+GATEWAY_ABS_SLACK_SECONDS = 0.020
 
 #: CI gates (see the module docstring).
 MAX_DISABLED_OVERHEAD = 1.02
@@ -188,4 +211,121 @@ def test_telemetry_overhead_within_bounds(tmp_path):
     assert best["enabled"] <= enabled_bound, (
         f"enabled telemetry costs {enabled_ratio:.3f}x baseline "
         f"(gate {MAX_ENABLED_OVERHEAD}x): recording overhead regressed"
+    )
+
+
+#: A fixed upstream context: the bench measures the *server's* per-request
+#: tracing work (parse, attach, span, histogram), so the caller is a raw
+#: ``http.client`` connection sending a constant header — what an external
+#: client on another machine looks like to the gateway.  The head-sampling
+#: decision rides the flags byte: ``01`` records, ``00`` is the sampled-out
+#: case where only contextvars + parsing remain on the request path.
+_TRACE_ID = "4bf92f3577b34da6a3ce929d0e0e4736"
+_SAMPLED_HEADER = f"00-{_TRACE_ID}-00f067aa0ba902b7-01"
+_UNSAMPLED_HEADER = f"00-{_TRACE_ID}-00f067aa0ba902b7-00"
+
+
+def _run_gateway_requests(
+    connection: "http.client.HTTPConnection", count: int, traceparent: str
+) -> float:
+    headers = {"traceparent": traceparent}
+    started = time.perf_counter()
+    for _ in range(count):
+        connection.request("GET", "/healthz", headers=headers)
+        response = connection.getresponse()
+        response.read()
+    return time.perf_counter() - started
+
+
+def test_traced_gateway_requests_within_bounds(tmp_path):
+    """Tracing the request path: the sampling-off machinery stays ~free.
+
+    ``/healthz`` is deliberately the cheapest route the gateway serves: the
+    measured delta is almost purely the server's tracing machinery — the
+    ``traceparent`` parse/attach, the ``gateway.request`` span, and the
+    latency histogram with its exemplar.  The hard gate sits on the
+    **unsampled** configuration (telemetry on, the caller's flags byte
+    ``00``, ``REPRO_TELEMETRY_SAMPLE=0``): head sampling is only a usable
+    production knob if what remains per request — contextvars plus
+    traceparent parsing — costs effectively nothing.
+    """
+    from bench_gateway import _LiveGateway
+
+    trace_path = tmp_path / "gateway_trace.jsonl"
+    unsampled_path = tmp_path / "gateway_unsampled.jsonl"
+    telemetry.configure("off")
+    live = _LiveGateway(ServiceConfig())
+    connection = http.client.HTTPConnection("127.0.0.1", live.server.port, timeout=60)
+    timings = {"disabled": [], "unsampled": [], "traced": []}
+    try:
+        # Warm round: connection setup, route dispatch, code paths both ways.
+        _run_gateway_requests(connection, GATEWAY_REQUESTS, _SAMPLED_HEADER)
+        for _ in range(GATEWAY_REPEATS):
+            telemetry.configure("off")
+            timings["disabled"].append(
+                _run_gateway_requests(connection, GATEWAY_REQUESTS, _SAMPLED_HEADER)
+            )
+            os.environ[SAMPLE_ENV] = "0"
+            telemetry.configure(f"jsonl:{unsampled_path}", propagate=False)
+            timings["unsampled"].append(
+                _run_gateway_requests(connection, GATEWAY_REQUESTS, _UNSAMPLED_HEADER)
+            )
+            os.environ.pop(SAMPLE_ENV, None)
+            telemetry.configure(f"jsonl:{trace_path}", propagate=False)
+            timings["traced"].append(
+                _run_gateway_requests(connection, GATEWAY_REQUESTS, _SAMPLED_HEADER)
+            )
+            telemetry.configure("off")
+    finally:
+        telemetry.configure("off")
+        os.environ.pop(SAMPLE_ENV, None)
+        os.environ.pop("REPRO_TELEMETRY", None)
+        connection.close()
+        live.close()
+
+    best = {label: min(values) for label, values in timings.items()}
+    unsampled_ratio = best["unsampled"] / best["disabled"]
+    traced_ratio = best["traced"] / best["disabled"]
+
+    table = ResultTable(
+        f"Gateway tracing overhead ({GATEWAY_REQUESTS} /healthz round trips, "
+        f"min of {GATEWAY_REPEATS})",
+        ["configuration", "wall clock", "vs disabled"],
+    )
+    for label in ("disabled", "unsampled", "traced"):
+        table.add_row(label, format_seconds(best[label]), f"{best[label] / best['disabled']:.3f}x")
+    table.print()
+
+    # The traced rounds really continued the caller's trace, and the
+    # unsampled rounds really sampled: no spans, histograms still intact.
+    snapshot = TelemetrySnapshot.from_jsonl(str(trace_path))
+    server_spans = snapshot.spans_named("gateway.request")
+    assert server_spans, "traced rounds recorded no request spans"
+    assert {span["trace_id"] for span in server_spans} == {_TRACE_ID}
+    unsampled = TelemetrySnapshot.from_jsonl(str(unsampled_path))
+    assert unsampled.spans_named("gateway.request") == []
+    assert unsampled.histogram_quantile("gateway.request.seconds", 0.5) is not None
+
+    emit_bench_json(
+        "telemetry_gateway",
+        {
+            "workload": {"requests": GATEWAY_REQUESTS, "repeats": GATEWAY_REPEATS},
+            "seconds": {label: best[label] for label in best},
+            "all_seconds": timings,
+            "unsampled_ratio": unsampled_ratio,
+            "traced_ratio": traced_ratio,
+            "gates": {
+                "max_unsampled_overhead": MAX_ENABLED_OVERHEAD,
+                "abs_slack_seconds": GATEWAY_ABS_SLACK_SECONDS,
+            },
+        },
+    )
+
+    unsampled_bound = max(best["disabled"] * MAX_ENABLED_OVERHEAD,
+                          best["disabled"] + GATEWAY_ABS_SLACK_SECONDS)
+    assert best["unsampled"] <= unsampled_bound, (
+        f"tracing-enabled (sampling off) gateway requests cost "
+        f"{unsampled_ratio:.3f}x the disabled path (gate "
+        f"{MAX_ENABLED_OVERHEAD}x): contextvars + traceparent parsing "
+        "overhead regressed"
     )

@@ -23,7 +23,7 @@ from __future__ import annotations
 import argparse
 import threading
 import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 def parse_exposition(text: str) -> Dict[str, float]:
@@ -41,7 +41,54 @@ def parse_exposition(text: str) -> Dict[str, float]:
     return totals
 
 
+def parse_buckets(text: str, metric: str) -> List[Tuple[float, float]]:
+    """Cumulative ``(le, count)`` pairs for one histogram, label sets merged.
+
+    Merging by ``le`` across label sets is sound because the telemetry layer
+    records every series into the same fixed global bucket bounds.
+    """
+    merged: Dict[float, float] = {}
+    prefix = metric + "_bucket{"
+    for line in text.splitlines():
+        if not line.startswith(prefix) or 'le="' not in line:
+            continue
+        labels, _, value = line.rpartition(" ")
+        le_text = labels.split('le="', 1)[1].split('"', 1)[0]
+        try:
+            le = float("inf") if le_text == "+Inf" else float(le_text)
+            merged[le] = merged.get(le, 0.0) + float(value)
+        except ValueError:
+            continue
+    return sorted(merged.items())
+
+
+def bucket_quantile(buckets: List[Tuple[float, float]], quantile: float) -> Optional[float]:
+    """Linear-interpolated quantile from cumulative ``(le, count)`` pairs."""
+    if not buckets or buckets[-1][1] <= 0:
+        return None
+    target = quantile * buckets[-1][1]
+    previous_le, previous_count = 0.0, 0.0
+    for le, count in buckets:
+        if count >= target:
+            if le == float("inf"):
+                return previous_le  # overflow bucket: report its lower bound
+            span = count - previous_count
+            fraction = (target - previous_count) / span if span else 1.0
+            return previous_le + (le - previous_le) * fraction
+        previous_le, previous_count = le, count
+    return previous_le
+
+
+def _format_latency(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds < 1.0:
+        return f"{seconds * 1000:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
 def render_tiles(
+    text: str,
     totals: Dict[str, float],
     previous: Optional[Dict[str, float]],
     elapsed: float,
@@ -57,12 +104,21 @@ def render_tiles(
 
     queue = totals.get("repro_gateway_queue_depth", 0.0)
     queue_high = totals.get("repro_gateway_queue_depth_max", 0.0)
+    buckets = parse_buckets(text, "repro_gateway_request_seconds")
+    p50 = _format_latency(bucket_quantile(buckets, 0.50))
+    p99 = _format_latency(bucket_quantile(buckets, 0.99))
+    # Audit progress: reports fingerprinted at tally/audit time plus the
+    # individual checks the verifier strategies counted along the way.
+    audits = totals.get("repro_audit_reports_total", 0.0)
+    checks = totals.get("repro_audit_checks_total", 0.0)
     return " | ".join(
         [
             tile("repro_gateway_casts_total", "casts"),
             tile("repro_gateway_shed_total", "shed"),
             tile("repro_gateway_ws_events_total", "ws events"),
             f"queue {queue:,.0f} (high {queue_high:,.0f})",
+            f"req p50 {p50} p99 {p99}",
+            f"audits {audits:,.0f} ({checks:,.0f} checks)",
         ]
     )
 
@@ -71,9 +127,10 @@ def poll_loop(fetch, interval: float, iterations: int) -> None:
     previous: Optional[Dict[str, float]] = None
     previous_at = time.monotonic()
     for index in range(iterations):
-        totals = parse_exposition(fetch())
+        text = fetch()
+        totals = parse_exposition(text)
         now = time.monotonic()
-        print(f"[poll {index + 1}/{iterations}] {render_tiles(totals, previous, now - previous_at)}")
+        print(f"[poll {index + 1}/{iterations}] {render_tiles(text, totals, previous, now - previous_at)}")
         previous, previous_at = totals, now
         if index + 1 < iterations:
             time.sleep(interval)

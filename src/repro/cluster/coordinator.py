@@ -106,9 +106,11 @@ class _Task:
     """One dispatchable unit: an idempotent key plus its payload and slot."""
 
     __slots__ = ("key", "payload", "group", "index", "done", "result",
-                 "assigned_to", "dispatched_at", "attempts")
+                 "assigned_to", "dispatched_at", "attempts", "trace")
 
-    def __init__(self, key: int, payload: Any, group: "_TaskGroup", index: int) -> None:
+    def __init__(
+        self, key: int, payload: Any, group: "_TaskGroup", index: int, trace: str = ""
+    ) -> None:
         self.key = key
         self.payload = payload
         self.group = group
@@ -118,6 +120,10 @@ class _Task:
         self.assigned_to: Optional["_Worker"] = None
         self.dispatched_at: float = 0.0
         self.attempts = 0
+        #: The dispatching call's encoded traceparent (``""`` when tracing is
+        #: off); rides every TASK frame so worker-side spans — piggybacked
+        #: back on RESULT frames — parent into the originating trace.
+        self.trace = trace
 
 
 class _TaskGroup:
@@ -613,7 +619,12 @@ class ClusterCoordinator:
                 return
             dead: List[_Worker] = []
             for worker, task in assignments:
-                frame = Frame(FrameKind.TASK, (task.key, *task.payload))
+                # The optional trailing traceparent keeps the frame layout
+                # backward compatible: workers accept 4- or 5-element tasks.
+                if task.trace:
+                    frame = Frame(FrameKind.TASK, (task.key, *task.payload, task.trace))
+                else:
+                    frame = Frame(FrameKind.TASK, (task.key, *task.payload))
                 try:
                     # Leaf lock: held only for this one frame write, taken
                     # after every coordinator lock is released, and nothing
@@ -652,12 +663,17 @@ class ClusterCoordinator:
         payloads = list(payloads)
         if not payloads:
             return []
+        # Capture the calling thread's trace context once per group: every
+        # shard of this call belongs to the dispatch span active here (e.g.
+        # RemoteExecutor's executor.map), so worker spans parent under it.
+        context = telemetry.current_context() if telemetry.enabled() else None
+        trace = context.to_traceparent() if context is not None else ""
         group = _TaskGroup(len(payloads), on_result)
         with self._cond:
             if self._closed:
                 raise ClusterError("coordinator is shut down")
             for index, payload in enumerate(payloads):
-                task = _Task(next(self._task_keys), tuple(payload), group, index)
+                task = _Task(next(self._task_keys), tuple(payload), group, index, trace)
                 group.tasks.append(task)
                 self._tasks[task.key] = task
                 self._pending.append(task)

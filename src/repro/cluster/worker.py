@@ -207,7 +207,14 @@ class WorkerDaemon:
         while not self._stop.is_set():
             frame = recv_frame(sock, self.codec)
             if frame.kind is FrameKind.TASK:
-                key, mode, fn, data = frame.payload
+                key, mode, fn, data = frame.payload[:4]
+                # Optional trailing element: the dispatching call's encoded
+                # traceparent.  Attaching it parents this task's spans under
+                # the coordinator-side dispatch span, so the events we
+                # piggyback on RESULT frames land in the originating trace.
+                carrier = frame.payload[4] if len(frame.payload) > 4 else ""
+                context = telemetry.parse_traceparent(carrier) if carrier else None
+                token = telemetry.attach(context) if context is not None else None
                 try:
                     with telemetry.span("cluster.task", worker=self.worker_id, mode=mode, key=key):
                         value = self._execute(mode, fn, data)
@@ -232,6 +239,9 @@ class WorkerDaemon:
                     else:
                         self._send(Frame(FrameKind.RESULT, (key, value)))
                     self.tasks_served += 1
+                finally:
+                    if token is not None:
+                        telemetry.detach(token)
             elif frame.kind is FrameKind.HEARTBEAT:
                 continue
             elif frame.kind is FrameKind.SHUTDOWN:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import signal
 import sys
 from typing import Dict, List, Optional
@@ -75,7 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch-size", type=int, default=None, help="micro-batch size")
     parser.add_argument("--queue-depth", type=int, default=None, help="admission queue bound")
     parser.add_argument(
-        "--telemetry", default="mem", help="telemetry spec for /metrics (off | mem | jsonl:path)"
+        "--telemetry",
+        default=None,
+        help="telemetry spec for /metrics (off | mem | jsonl:path); defaults "
+        "to $REPRO_TELEMETRY if set, else mem — so a gateway launched with "
+        "the same REPRO_TELEMETRY=jsonl: file as its clients joins their "
+        "distributed traces instead of silently recording to memory",
     )
     return parser
 
@@ -119,8 +125,11 @@ async def _serve(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.telemetry and args.telemetry != "off":
-        telemetry.configure(args.telemetry)
+    spec = args.telemetry
+    if spec is None:
+        spec = os.environ.get(telemetry.TELEMETRY_ENV) or "mem"
+    if spec and spec != "off":
+        telemetry.configure(spec)
     return asyncio.run(_serve(args))
 
 

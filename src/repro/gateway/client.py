@@ -23,6 +23,7 @@ import socket
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple, Type, TypeVar
 
+from repro import telemetry
 from repro.crypto.group import Group
 from repro.crypto.registry import group_by_name
 from repro.crypto.schnorr import SigningKeyPair
@@ -106,16 +107,27 @@ class GatewayClient:
         if self.client_id:
             headers["X-Client-Id"] = self.client_id
         encoded = body.to_json().encode() if body is not None else b""
-        try:
-            self._connection.request(method, path, body=encoded, headers=headers)
-            response = self._connection.getresponse()
-            payload = response.read()
-            status = response.status
-        except (http.client.HTTPException, OSError):
-            # The keep-alive connection died (server restart, drain close);
-            # drop it so the next call reconnects, and surface the failure.
-            self.close()
-            raise GatewayError(f"connection to {self.host}:{self.port} failed") from None
+        # The SDK is the head of the distributed trace: the span below mints
+        # (or extends) the trace context and its traceparent rides the
+        # request, so server-side spans parent under this client call.  When
+        # telemetry is off the span is a no-op and no header is sent.
+        with telemetry.span("gateway.client.request", method=method, path=path):
+            context = telemetry.current_context()
+            if context is not None:
+                headers[telemetry.TRACEPARENT_HEADER] = context.to_traceparent()
+            try:
+                self._connection.request(method, path, body=encoded, headers=headers)
+                response = self._connection.getresponse()
+                payload = response.read()
+                status = response.status
+            except (http.client.HTTPException, OSError):
+                # The keep-alive connection died (server restart, drain
+                # close); drop it so the next call reconnects, and surface
+                # the failure.
+                self.close()
+                raise GatewayError(
+                    f"connection to {self.host}:{self.port} failed"
+                ) from None
         if status >= 400:
             error_body = ErrorBody.from_json(payload)
             assert isinstance(error_body, ErrorBody)

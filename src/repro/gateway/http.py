@@ -85,6 +85,16 @@ class Request:
         """The admission-control identity: explicit client id, else peer."""
         return self.header("x-client-id") or self.peer or "anonymous"
 
+    @property
+    def traceparent(self) -> str:
+        """The raw distributed-tracing header, ``""`` when absent.
+
+        Parsing/minting lives in the dispatcher
+        (:mod:`repro.gateway.routes`), which hands the decoded
+        :class:`repro.telemetry.TraceContext` to every span below it.
+        """
+        return self.header("traceparent")
+
 
 async def read_request(reader: asyncio.StreamReader, peer: str = "") -> Optional[Request]:
     """Parse one request off the stream; ``None`` on a clean EOF."""

@@ -16,6 +16,8 @@ conflicts 409 — every non-2xx body is an :class:`ErrorBody`.
 from __future__ import annotations
 
 import asyncio
+import json
+import os
 from dataclasses import dataclass
 from typing import Awaitable, Callable, Dict, List, Optional, Tuple, Type, Union
 
@@ -59,9 +61,18 @@ from repro.gateway.service import (
 )
 
 #: What one handler returns: status code + a schema body (or raw text for
-#: the Prometheus exposition endpoint).
+#: the Prometheus exposition endpoint and the debug ops plane).
 HandlerResult = Tuple[int, Union[Schema, str]]
 Handler = Callable[[GatewayService, Request, Dict[str, str]], Awaitable[HandlerResult]]
+
+#: Gate for the live ops plane (`GET /v1/debug/*`).  The routes are always
+#: in the table (so docs and the SDK see them) but answer 404 unless the
+#: process was started with ``REPRO_GATEWAY_DEBUG=1``.
+DEBUG_ENV = "REPRO_GATEWAY_DEBUG"
+
+
+def debug_enabled() -> bool:
+    return os.environ.get(DEBUG_ENV, "") == "1"
 
 
 @dataclass(frozen=True)
@@ -166,6 +177,42 @@ async def _metrics(
     return 200, service.metrics()
 
 
+def _require_debug() -> None:
+    if not debug_enabled():
+        # 404, not 403: the ops plane should be invisible when disabled.
+        raise UnknownElectionError(
+            f"debug routes are disabled (start the gateway with {DEBUG_ENV}=1)"
+        )
+
+
+async def _debug_spans(
+    service: GatewayService, request: Request, params: Dict[str, str]
+) -> HandlerResult:
+    _require_debug()
+    return 200, json.dumps({"spans": telemetry.active_spans()}, indent=2)
+
+
+async def _debug_queues(
+    service: GatewayService, request: Request, params: Dict[str, str]
+) -> HandlerResult:
+    _require_debug()
+    return 200, json.dumps(service.debug_queues(), indent=2)
+
+
+async def _debug_governors(
+    service: GatewayService, request: Request, params: Dict[str, str]
+) -> HandlerResult:
+    _require_debug()
+    return 200, json.dumps(service.debug_governors(), indent=2)
+
+
+async def _debug_tenants(
+    service: GatewayService, request: Request, params: Dict[str, str]
+) -> HandlerResult:
+    _require_debug()
+    return 200, json.dumps(service.debug_tenants(), indent=2)
+
+
 #: The WebSocket route is documented here but dispatched by the connection
 #: handler (it hijacks the stream instead of returning one response).
 AUDIT_STREAM_PATTERN = "/v1/elections/{election_id}/audit/stream"
@@ -245,6 +292,34 @@ ROUTES: Tuple[Route, ...] = (
         "Prometheus exposition of the process telemetry snapshot.",
         _metrics,
     ),
+    Route(
+        "GET",
+        "/v1/debug/spans",
+        "debug_spans",
+        "In-flight spans, slowest first; 404 unless REPRO_GATEWAY_DEBUG=1.",
+        _debug_spans,
+    ),
+    Route(
+        "GET",
+        "/v1/debug/queues",
+        "debug_queues",
+        "Cast-queue depth and admitter liveness per tenant (debug only).",
+        _debug_queues,
+    ),
+    Route(
+        "GET",
+        "/v1/debug/governors",
+        "debug_governors",
+        "Live token-bucket fill per tenant and per client (debug only).",
+        _debug_governors,
+    ),
+    Route(
+        "GET",
+        "/v1/debug/tenants",
+        "debug_tenants",
+        "Per-tenant status, ballot counts, and admission totals (debug only).",
+        _debug_tenants,
+    ),
 )
 
 
@@ -296,36 +371,79 @@ async def dispatch(
             status, body, headers = _error_response(404, f"no route for {request.path}")
         return status, body, headers, "application/json"
 
-    with telemetry.span("gateway.request", method=request.method, route=matched.pattern):
-        try:
-            status, payload = await matched.handler(service, request, params)
-        except SchemaError as error:
-            status, body, headers = _error_response(
-                400, "request failed validation", field_errors=error.field_errors
+    # Trace context: adopt the caller's traceparent or mint a fresh trace,
+    # so every span below (handler, batch admit, ledger flush) shares one
+    # trace_id.  Nothing here runs when telemetry is off.
+    trace_context: Optional[telemetry.TraceContext] = None
+    token = None
+    if telemetry.enabled():
+        trace_context = telemetry.parse_traceparent(
+            request.header(telemetry.TRACEPARENT_HEADER)
+        )
+        if trace_context is None:
+            trace_context = telemetry.new_trace()
+        token = telemetry.attach(trace_context)
+    try:
+        with telemetry.span(
+            "gateway.request", method=request.method, route=matched.pattern
+        ) as handle:
+            status, body, headers, content_type = await _execute_route(
+                service, request, matched, params
             )
-            return status, body, headers, "application/json"
-        except UnknownElectionError as error:
-            status, body, headers = _error_response(404, str(error))
-            return status, body, headers, "application/json"
-        except ConflictError as error:
-            status, body, headers = _error_response(409, str(error))
-            return status, body, headers, "application/json"
-        except ShedError as error:
-            status, body, headers = _error_response(
-                429, str(error), retry_after=error.retry_after_seconds
-            )
-            return status, body, headers, "application/json"
-        except DrainingError as error:
-            status, body, headers = _error_response(
-                503, str(error), retry_after=error.retry_after_seconds
-            )
-            return status, body, headers, "application/json"
-        except GatewayError as error:
-            telemetry.counter("gateway.errors")
-            status, body, headers = _error_response(500, str(error))
-            return status, body, headers, "application/json"
+            handle.attrs["status"] = status
+    finally:
+        if token is not None:
+            telemetry.detach(token)
+    if trace_context is not None:
+        headers.setdefault(
+            telemetry.TRACEPARENT_HEADER,
+            trace_context._replace(span_id=handle.span_id).to_traceparent(),
+        )
+        telemetry.histogram(
+            "gateway.request.seconds",
+            handle.elapsed_seconds,
+            exemplar=trace_context.trace_id,
+            method=request.method,
+            route=matched.pattern,
+        )
+    return status, body, headers, content_type
+
+
+async def _execute_route(
+    service: GatewayService, request: Request, matched: Route, params: Dict[str, str]
+) -> Tuple[int, bytes, Dict[str, str], str]:
+    """Run one matched route's handler and map domain errors to HTTP."""
+    try:
+        status, payload = await matched.handler(service, request, params)
+    except SchemaError as error:
+        status, body, headers = _error_response(
+            400, "request failed validation", field_errors=error.field_errors
+        )
+        return status, body, headers, "application/json"
+    except UnknownElectionError as error:
+        status, body, headers = _error_response(404, str(error))
+        return status, body, headers, "application/json"
+    except ConflictError as error:
+        status, body, headers = _error_response(409, str(error))
+        return status, body, headers, "application/json"
+    except ShedError as error:
+        status, body, headers = _error_response(
+            429, str(error), retry_after=error.retry_after_seconds
+        )
+        return status, body, headers, "application/json"
+    except DrainingError as error:
+        status, body, headers = _error_response(
+            503, str(error), retry_after=error.retry_after_seconds
+        )
+        return status, body, headers, "application/json"
+    except GatewayError as error:
+        telemetry.counter("gateway.errors")
+        status, body, headers = _error_response(500, str(error))
+        return status, body, headers, "application/json"
     if isinstance(payload, Schema):
         return status, payload.to_json().encode(), {}, "application/json"
+    if matched.name.startswith("debug_"):
+        return status, payload.encode(), {}, "application/json"
     return status, payload.encode(), {}, "text/plain; version=0.0.4"
 
 

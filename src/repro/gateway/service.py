@@ -101,7 +101,10 @@ class ServiceConfig:
     governor: GovernorConfig = field(default_factory=GovernorConfig.from_env)
 
 
-_CastItem = Tuple[BallotRecord, "asyncio.Future[int]"]
+# Each queued cast carries the trace context of the HTTP request that
+# enqueued it, so the admitter's batch span can parent into the originating
+# request even though it runs on a different task.
+_CastItem = Tuple[BallotRecord, "asyncio.Future[int]", Optional[telemetry.TraceContext]]
 
 
 class ElectionTenant:
@@ -173,22 +176,34 @@ class ElectionTenant:
         await self.frontend.drain()
 
     async def _admit_batch(self, batch: List[_CastItem]) -> None:
-        records = [record for record, _ in batch]
+        records = [record for record, _, _ in batch]
+        # A batch mixes casts from many requests; the span parents under the
+        # first traced one and records how many distinct traces it covers.
+        contexts = [context for _, _, context in batch if context is not None]
+        trace_ids = {context.trace_id for context in contexts}
+        token = telemetry.attach(contexts[0]) if contexts else None
         try:
-            with telemetry.span("gateway.batch.admit", election=self.election_id, size=len(batch)):
+            with telemetry.span(
+                "gateway.batch.admit",
+                election=self.election_id,
+                size=len(batch),
+                traces=len(trace_ids),
+            ):
                 seqs = await self.frontend.post_ballots(records)
         except Exception as error:
             telemetry.counter("gateway.errors", len(batch))
-            for _, future in batch:
+            for _, future, _ in batch:
                 if not future.done():
                     future.set_exception(GatewayError(f"ledger append failed: {error}"))
             return
         finally:
+            if token is not None:
+                telemetry.detach(token)
             self.governor.queued -= len(batch)
             telemetry.gauge("gateway.queue.depth", self.governor.queued, election=self.election_id)
         telemetry.histogram("gateway.batch.size", len(batch), election=self.election_id)
         telemetry.counter("gateway.casts", len(batch))
-        for (_, future), seq in zip(batch, seqs):
+        for (_, future, _), seq in zip(batch, seqs):
             if not future.done():
                 future.set_result(seq)
 
@@ -223,8 +238,9 @@ class ElectionTenant:
         futures: List["asyncio.Future[int]"] = [loop.create_future() for _ in records]
         self.governor.queued += len(records)
         telemetry.gauge("gateway.queue.depth", self.governor.queued, election=self.election_id)
+        context = telemetry.current_context()
         for record, future in zip(records, futures):
-            self._pending.put_nowait((record, future))
+            self._pending.put_nowait((record, future, context))
         return list(await asyncio.gather(*futures))
 
     # ------------------------------------------------------------- registration
@@ -338,7 +354,7 @@ class ElectionTenant:
             result=self.tally_result,
             kiosk_public_keys=self.setup.registrar.kiosk_public_keys,
         )
-        return AuditReportWire(
+        wire = AuditReportWire(
             election_id=self.election_id,
             ok=report.ok,
             strategy=self.service_config.audit_spec,
@@ -348,6 +364,18 @@ class ElectionTenant:
             elapsed_seconds=time.monotonic() - started,
             failures=[f"{failure.kind}:{failure.name}" for failure in report.failures],
         )
+        # Audit progress on /metrics: one counter tick per completed report,
+        # labelled with its fingerprint so dashboards can spot a chain that
+        # stopped re-verifying (the per-check counts ride the verifier's own
+        # "audit.checks" series emitted during the run above).
+        telemetry.counter(
+            "audit.reports",
+            1,
+            election=self.election_id,
+            ok=str(report.ok).lower(),
+            fingerprint=wire.fingerprint[:12],
+        )
+        return wire
 
     async def shutdown(self) -> None:
         """Drain the admission queue, flush the board, release resources."""
@@ -491,6 +519,58 @@ class GatewayService:
             )
         return telemetry.snapshot().to_prometheus()
 
+    # -------------------------------------------------------------- ops plane
+
+    def debug_queues(self) -> Dict[str, Any]:
+        """Cast-queue depth per tenant (`GET /v1/debug/queues`)."""
+        queues: Dict[str, Any] = {}
+        for election_id, tenant in sorted(self.tenants.items()):
+            queues[election_id] = {
+                "queued": tenant.governor.queued,
+                "pending": tenant._pending.qsize(),
+                "admitter_running": tenant._admitter is not None
+                and not tenant._admitter.done(),
+            }
+        return {"draining": self.draining, "queues": queues}
+
+    def debug_governors(self) -> Dict[str, Any]:
+        """Live token-bucket levels per tenant (`GET /v1/debug/governors`)."""
+        now = time.monotonic()
+        governors: Dict[str, Any] = {}
+        for election_id, tenant in sorted(self.tenants.items()):
+            governor = tenant.governor
+            governors[election_id] = {
+                "tenant_bucket": _bucket_level(governor.tenant_bucket, now),
+                "clients": {
+                    client: _bucket_level(bucket, now)
+                    for client, bucket in sorted(governor.client_buckets.items())
+                },
+                "queued": governor.queued,
+                "admitted_total": governor.admitted_total,
+                "shed_total": governor.shed_total,
+            }
+        return {"governors": governors}
+
+    def debug_tenants(self) -> Dict[str, Any]:
+        """Per-tenant status + counts (`GET /v1/debug/tenants`)."""
+        tenants: Dict[str, Any] = {}
+        for election_id, tenant in sorted(self.tenants.items()):
+            board = tenant.setup.board
+            tenants[election_id] = {
+                "status": tenant.status,
+                "group": tenant.group_name,
+                "num_voters": tenant.num_voters,
+                "num_options": tenant.num_options,
+                "num_registered": board.num_registered,
+                "num_ballots": board.num_ballots,
+                "queued": tenant.governor.queued,
+                "admitted_total": tenant.governor.admitted_total,
+                "shed_total": tenant.governor.shed_total,
+                "subscribers": len(tenant._subscribers),
+                "tallied": tenant.tally_result is not None,
+            }
+        return {"draining": self.draining, "tenants": tenants}
+
     # ---------------------------------------------------------------- shutdown
 
     def _refuse_if_draining(self) -> None:
@@ -504,6 +584,18 @@ class GatewayService:
         self.draining = True
         for tenant in self.tenants.values():
             await tenant.shutdown()
+
+
+def _bucket_level(bucket: Any, now: float) -> Optional[Dict[str, float]]:
+    """A token bucket's current fill, refill-adjusted but not mutated."""
+    if bucket is None:
+        return None
+    elapsed = max(0.0, now - bucket.updated_at)
+    return {
+        "tokens": min(bucket.burst, bucket.tokens + elapsed * bucket.rate),
+        "burst": bucket.burst,
+        "rate": bucket.rate,
+    }
 
 
 def service_from_config(config: Any) -> GatewayService:

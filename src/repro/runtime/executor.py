@@ -77,6 +77,25 @@ def _warm_task(seconds: float) -> None:
     time.sleep(seconds)
 
 
+def _apply_with_context(carrier: str, applier: Callable, fn: Callable, chunk: Sequence[Any]) -> List[Any]:
+    """Run one chunk under the submitting call's re-attached trace context.
+
+    Pool workers do not inherit the submitter's ``contextvars`` state (thread
+    pools reuse long-lived threads; fork-server processes snapshot whatever
+    was active at fork time), so the trace context crosses the pool boundary
+    as an encoded traceparent string.  Module-level so ProcessExecutor tasks
+    stay picklable.
+    """
+    context = telemetry.parse_traceparent(carrier)
+    if context is None:
+        return applier(fn, chunk)
+    token = telemetry.attach(context)
+    try:
+        return applier(fn, chunk)
+    finally:
+        telemetry.detach(token)
+
+
 class Executor(abc.ABC):
     """An order-preserving ``map``/``starmap`` engine over a worker pool."""
 
@@ -211,7 +230,17 @@ class _PoolExecutor(Executor):
 
     def _run_chunks(self, applier, fn, chunks):
         pool = self._ensure_pool()
-        futures = [pool.submit(applier, fn, chunk) for chunk in chunks]
+        context = telemetry.current_context() if telemetry.enabled() else None
+        if context is None:
+            futures = [pool.submit(applier, fn, chunk) for chunk in chunks]
+        else:
+            # Carry the fan-out span's context into every worker so spans
+            # emitted inside ``fn`` parent under this map, not a stale trace.
+            carrier = context.to_traceparent()
+            futures = [
+                pool.submit(_apply_with_context, carrier, applier, fn, chunk)
+                for chunk in chunks
+            ]
         return [future.result() for future in futures]
 
     def close(self) -> None:

@@ -223,6 +223,11 @@ class StreamPipeline:
         self._error_lock = threading.Lock()
         self._error: Optional[BaseException] = None
         self._ran = False
+        #: The caller's trace context, captured by :meth:`run`.  Stage and
+        #: source threads start context-clean (plain ``threading.Thread``),
+        #: so each attaches this explicitly — stage spans then parent under
+        #: the tally span that drove the pipeline, not a fresh trace apiece.
+        self._context: Optional[telemetry.TraceContext] = None
 
     # ------------------------------------------------------------------ internals
 
@@ -262,6 +267,7 @@ class StreamPipeline:
                 continue
 
     def _feed(self, source: Iterable[Shard], out: "queue.Queue", sentinel: object) -> None:
+        token = telemetry.attach(self._context) if self._context is not None else None
         try:
             for shard in source:
                 self._put(out, shard, "source")
@@ -270,8 +276,12 @@ class StreamPipeline:
             pass
         except BaseException as exc:  # noqa: BLE001 - propagated to run()
             self._record_error(exc)
+        finally:
+            if token is not None:
+                telemetry.detach(token)
 
     def _work(self, stage: Stage, inbox: "queue.Queue", out: "queue.Queue", sentinel: object) -> None:
+        token = telemetry.attach(self._context) if self._context is not None else None
         try:
             while True:
                 item = self._get(inbox)
@@ -304,6 +314,9 @@ class StreamPipeline:
             pass
         except BaseException as exc:  # noqa: BLE001 - propagated to run()
             self._record_error(exc)
+        finally:
+            if token is not None:
+                telemetry.detach(token)
 
     # ------------------------------------------------------------------ running
 
@@ -325,6 +338,7 @@ class StreamPipeline:
         if self._ran:
             raise RuntimeError("a StreamPipeline instance can only run once")
         self._ran = True
+        self._context = telemetry.current_context() if telemetry.enabled() else None
         for stage in self.stages:
             stage.bind_abort(self._cancel.is_set)
         sentinel = object()

@@ -34,7 +34,19 @@ import os
 import threading
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.telemetry.context import (
+    SAMPLE_ENV,
+    TRACEPARENT_HEADER,
+    TraceContext,
+    attach,
+    current_context,
+    detach,
+    format_traceparent,
+    new_trace,
+    parse_traceparent,
+)
 from repro.telemetry.core import (
+    HISTOGRAM_BUCKETS,
     SPEC_OFF,
     TELEMETRY_ENV,
     JsonlSink,
@@ -44,24 +56,36 @@ from repro.telemetry.core import (
     read_jsonl,
     telemetry_from_spec,
 )
+from repro.telemetry.core import active_spans as _core_active_spans
 from repro.telemetry.snapshot import TelemetrySnapshot
 
 __all__ = [
+    "HISTOGRAM_BUCKETS",
+    "SAMPLE_ENV",
     "SPEC_OFF",
     "TELEMETRY_ENV",
+    "TRACEPARENT_HEADER",
     "JsonlSink",
     "MemSink",
     "SpanHandle",
     "Telemetry",
     "TelemetrySnapshot",
+    "TraceContext",
+    "active_spans",
+    "attach",
     "configure",
     "counter",
     "current",
+    "current_context",
+    "detach",
     "drain",
     "enabled",
+    "format_traceparent",
     "gauge",
     "histogram",
     "ingest",
+    "new_trace",
+    "parse_traceparent",
     "read_jsonl",
     "snapshot",
     "span",
@@ -182,10 +206,28 @@ def gauge(name: str, value: float, **labels: Any) -> None:
         state.gauge(name, value, **labels)
 
 
-def histogram(name: str, value: float, **labels: Any) -> None:
+def histogram(
+    name: str, value: float, exemplar: Optional[str] = None, **labels: Any
+) -> None:
+    """Record one observation; ``exemplar`` pins a trace ID to the series.
+
+    The exemplar surfaced in summaries is the trace of the slowest
+    observation so far — the request you want the waterfall for.
+    """
     state = _resolve()
     if state is not None:
-        state.histogram(name, value, **labels)
+        state.histogram(name, value, exemplar=exemplar, **labels)
+
+
+def active_spans() -> List[Dict[str, Any]]:
+    """Every span currently open in this process (the live ops plane feed).
+
+    Cheap and lock-brief; returns ``[]`` when telemetry is off (nothing is
+    tracked in that mode).
+    """
+    if _resolve() is None:
+        return []
+    return _core_active_spans()
 
 
 def drain() -> List[Dict[str, Any]]:

@@ -12,11 +12,13 @@ Design constraints, in order of importance:
    return, and ``span`` allocates one small handle that still measures its
    own elapsed time (callers like :class:`repro.audit.api.Verifier` read
    ``elapsed_seconds`` off the handle whether or not telemetry records it)
-   but touches no shared state.
-2. **Thread- and process-safe identity.**  Span IDs embed the emitting PID,
-   so IDs minted on either side of a ``fork()`` never collide; the parent
-   stack is thread-local, so concurrent pipeline stages each get their own
-   span lineage.
+   but touches no shared state — not even the context variable.
+2. **Correct lineage under any scheduler.**  Span parenting rides the
+   :class:`~contextvars.ContextVar` in :mod:`repro.telemetry.context`, so
+   two asyncio coroutines interleaving on one thread keep distinct parent
+   chains (a thread-local stack cannot do that), while plain threads still
+   start clean.  Span IDs embed the emitting PID, so IDs minted on either
+   side of a ``fork()`` never collide.
 3. **Crash-safe JSONL.**  The ``jsonl:`` sink appends one complete line per
    event with a single unbuffered ``write()`` on an ``O_APPEND`` descriptor,
    so concurrent writers (threads, forked pool workers, spawned cluster
@@ -36,6 +38,14 @@ import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.telemetry.context import (
+    TraceContext,
+    attach,
+    current_context,
+    detach,
+    new_trace,
+)
+
 TELEMETRY_ENV = "REPRO_TELEMETRY"
 SPEC_OFF = "off"
 
@@ -44,8 +54,32 @@ SPEC_OFF = "off"
 LabelKey = Tuple[Tuple[str, str], ...]
 MetricKey = Tuple[str, LabelKey]
 
+#: Cumulative histogram bucket upper bounds (seconds-flavoured; counts land
+#: in the overflow).  Fixed and global so bucket arrays from any process
+#: merge element-wise without negotiation.
+HISTOGRAM_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    60.0,
+)
+
 _SPAN_IDS = itertools.count(1)
-_TLS = threading.local()
+
+# In-flight span registry for the ops plane (`GET /v1/debug/spans`).  Keyed
+# by span_id; entries live from __enter__ to __exit__ of recorded spans.
+_ACTIVE_SPANS: Dict[str, "SpanHandle"] = {}
+_ACTIVE_LOCK = threading.Lock()
 
 
 def _label_key(labels: Dict[str, Any]) -> LabelKey:
@@ -53,32 +87,67 @@ def _label_key(labels: Dict[str, Any]) -> LabelKey:
 
 
 def _new_span_id() -> str:
-    """A fleet-unique span ID: PID-prefixed monotonic counter.
+    """A fleet-unique 16-hex span ID: PID-prefixed monotonic counter.
 
     The counter is plain :mod:`itertools` (no lock needed — ``next`` on a
     count is atomic under the GIL); uniqueness across ``fork()`` children
-    that inherit the counter position comes from the PID prefix.
+    that inherit the counter position comes from the PID prefix.  The fixed
+    16-hex shape keeps the ID valid as a W3C ``traceparent`` parent-id.
     """
-    return "%x.%x" % (os.getpid(), next(_SPAN_IDS))
+    return "%08x%08x" % (os.getpid() & 0xFFFFFFFF, next(_SPAN_IDS) & 0xFFFFFFFF)
 
 
-def _span_stack() -> List["SpanHandle"]:
-    stack = getattr(_TLS, "stack", None)
-    if stack is None:
-        stack = []
-        _TLS.stack = stack
-    return stack
+def _bucket_index(value: float) -> int:
+    for index, bound in enumerate(HISTOGRAM_BUCKETS):
+        if value <= bound:
+            return index
+    return len(HISTOGRAM_BUCKETS)
+
+
+def active_spans() -> List[Dict[str, Any]]:
+    """Snapshot of every span currently open in this process."""
+    now = time.perf_counter()
+    with _ACTIVE_LOCK:
+        handles = list(_ACTIVE_SPANS.values())
+    report = []
+    for handle in handles:
+        report.append(
+            {
+                "name": handle.name,
+                "span_id": handle.span_id,
+                "parent_id": handle.parent_id,
+                "trace_id": handle.trace_id,
+                "pid": os.getpid(),
+                "elapsed_seconds": max(0.0, now - handle.start),
+                "attrs": {key: _jsonable(value) for key, value in handle.attrs.items()},
+            }
+        )
+    report.sort(key=lambda entry: -float(entry["elapsed_seconds"]))
+    return report
 
 
 class SpanHandle:
-    """One timed region.  Context manager; nests via a thread-local stack.
+    """One timed region.  Context manager; nests via the trace context.
 
     Always measures (``elapsed_seconds`` is valid even when telemetry is
     off — callers may surface it in their own reports); only *records* to
-    the active sink when a :class:`Telemetry` is attached.
+    the active sink when a :class:`Telemetry` is attached **and** the trace
+    is sampled (errors are always recorded regardless of sampling).
     """
 
-    __slots__ = ("name", "attrs", "span_id", "parent_id", "start", "end", "_telemetry")
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "trace_id",
+        "sampled",
+        "start",
+        "end",
+        "wall",
+        "_telemetry",
+        "_token",
+    )
 
     def __init__(
         self, name: str, attrs: Dict[str, Any], telemetry: Optional["Telemetry"]
@@ -88,8 +157,12 @@ class SpanHandle:
         self._telemetry = telemetry
         self.span_id = _new_span_id() if telemetry is not None else ""
         self.parent_id: Optional[str] = None
+        self.trace_id = ""
+        self.sampled = True
         self.start = 0.0
         self.end = 0.0
+        self.wall = 0.0
+        self._token: Any = None
 
     @property
     def elapsed_seconds(self) -> float:
@@ -99,10 +172,18 @@ class SpanHandle:
 
     def __enter__(self) -> "SpanHandle":
         if self._telemetry is not None:
-            stack = _span_stack()
-            if stack:
-                self.parent_id = stack[-1].span_id
-            stack.append(self)
+            context = current_context()
+            if context is None:
+                context = new_trace()
+            self.trace_id = context.trace_id
+            self.sampled = context.sampled
+            self.parent_id = context.span_id or None
+            self._token = attach(context.child(self.span_id))
+            # Wall clock is trace *metadata* (cross-process waterfall
+            # alignment), never tally state.
+            self.wall = time.time()  # repro: noqa[REP002] - trace timestamp
+            with _ACTIVE_LOCK:
+                _ACTIVE_SPANS[self.span_id] = self
         self.start = time.perf_counter()
         return self
 
@@ -110,14 +191,15 @@ class SpanHandle:
         self.end = time.perf_counter()
         telemetry = self._telemetry
         if telemetry is not None:
-            stack = _span_stack()
-            if stack and stack[-1] is self:
-                stack.pop()
-            elif self in stack:  # pragma: no cover - unbalanced exit safety net
-                stack.remove(self)
+            with _ACTIVE_LOCK:
+                _ACTIVE_SPANS.pop(self.span_id, None)
+            if self._token is not None:
+                detach(self._token)
+                self._token = None
             if exc_type is not None:
                 self.attrs["error"] = getattr(exc_type, "__name__", str(exc_type))
-            telemetry.record_span(self)
+            if self.sampled or exc_type is not None:
+                telemetry.record_span(self)
 
 
 class MemSink:
@@ -229,6 +311,8 @@ class Telemetry:
         self._counters: Dict[MetricKey, float] = {}
         self._gauges: Dict[MetricKey, List[float]] = {}  # [last, max]
         self._histograms: Dict[MetricKey, List[float]] = {}  # [count, sum, min, max]
+        self._hist_buckets: Dict[MetricKey, List[float]] = {}
+        self._hist_exemplars: Dict[MetricKey, str] = {}  # trace_id of the max
 
     # ------------------------------------------------------------- recording
 
@@ -238,8 +322,10 @@ class Telemetry:
             "name": span.name,
             "span_id": span.span_id,
             "parent_id": span.parent_id,
+            "trace_id": span.trace_id,
             "pid": os.getpid(),
             "start": span.start,
+            "wall": span.wall,
             "duration": span.end - span.start,
         }
         if span.attrs:
@@ -262,19 +348,35 @@ class Telemetry:
                 if value > slot[1]:
                     slot[1] = value
 
-    def histogram(self, name: str, value: float, **labels: Any) -> None:
+    def histogram(
+        self, name: str, value: float, exemplar: Optional[str] = None, **labels: Any
+    ) -> None:
+        """Record one observation; ``exemplar`` is a trace ID to pin.
+
+        The exemplar kept per series is the trace of the *slowest*
+        observation so far — the one you want to pull the waterfall for.
+        """
         key = (name, _label_key(labels))
         with self._lock:
             slot = self._histograms.get(key)
             if slot is None:
                 self._histograms[key] = [1.0, value, value, value]
+                if exemplar:
+                    self._hist_exemplars[key] = exemplar
             else:
                 slot[0] += 1.0
                 slot[1] += value
                 if value < slot[2]:
                     slot[2] = value
-                if value > slot[3]:
+                if value >= slot[3]:
                     slot[3] = value
+                    if exemplar:
+                        self._hist_exemplars[key] = exemplar
+            buckets = self._hist_buckets.get(key)
+            if buckets is None:
+                buckets = [0.0] * (len(HISTOGRAM_BUCKETS) + 1)
+                self._hist_buckets[key] = buckets
+            buckets[_bucket_index(value)] += 1.0
 
     # ------------------------------------------------------------- extraction
 
@@ -291,23 +393,31 @@ class Telemetry:
                 events.append(
                     {"type": "gauge", "name": name, "labels": dict(labels), "value": last, "max": high, "pid": pid}
                 )
-            for (name, labels), (count, total, low, high) in self._histograms.items():
-                events.append(
-                    {
-                        "type": "histogram",
-                        "name": name,
-                        "labels": dict(labels),
-                        "count": count,
-                        "sum": total,
-                        "min": low,
-                        "max": high,
-                        "pid": pid,
-                    }
-                )
+            for key, (count, total, low, high) in self._histograms.items():
+                name, labels = key
+                event: Dict[str, Any] = {
+                    "type": "histogram",
+                    "name": name,
+                    "labels": dict(labels),
+                    "count": count,
+                    "sum": total,
+                    "min": low,
+                    "max": high,
+                    "pid": pid,
+                }
+                buckets = self._hist_buckets.get(key)
+                if buckets is not None:
+                    event["buckets"] = list(buckets)
+                exemplar = self._hist_exemplars.get(key)
+                if exemplar:
+                    event["exemplar"] = exemplar
+                events.append(event)
             if reset:
                 self._counters.clear()
                 self._gauges.clear()
                 self._histograms.clear()
+                self._hist_buckets.clear()
+                self._hist_exemplars.clear()
         return events
 
     def ingest(self, events: Sequence[Dict[str, Any]], **extra_labels: Any) -> None:
@@ -356,17 +466,32 @@ class Telemetry:
         total = float(event.get("sum", 0.0))
         low = float(event.get("min", 0.0))
         high = float(event.get("max", 0.0))
+        incoming = event.get("buckets")
+        exemplar = event.get("exemplar")
         with self._lock:
             slot = self._histograms.get(key)
             if slot is None:
                 self._histograms[key] = [count, total, low, high]
+                if isinstance(incoming, list):
+                    self._hist_buckets[key] = [float(v) for v in incoming]
+                if isinstance(exemplar, str) and exemplar:
+                    self._hist_exemplars[key] = exemplar
             else:
+                if high >= slot[3] and isinstance(exemplar, str) and exemplar:
+                    self._hist_exemplars[key] = exemplar
                 slot[0] += count
                 slot[1] += total
                 if low < slot[2]:
                     slot[2] = low
                 if high > slot[3]:
                     slot[3] = high
+                if isinstance(incoming, list):
+                    buckets = self._hist_buckets.get(key)
+                    if buckets is None:
+                        self._hist_buckets[key] = [float(v) for v in incoming]
+                    else:
+                        for index in range(min(len(buckets), len(incoming))):
+                            buckets[index] += float(incoming[index])
 
     def drain(self) -> List[Dict[str, Any]]:
         """Pop buffered spans *and* metric aggregates (cluster piggyback)."""
@@ -390,6 +515,8 @@ class Telemetry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._hist_buckets.clear()
+            self._hist_exemplars.clear()
         self.sink.reset()
 
     def close(self) -> None:
@@ -434,3 +561,21 @@ def telemetry_from_spec(spec: Optional[str]) -> Optional[Telemetry]:
     raise ValueError(
         f"unknown telemetry spec {spec!r}; expected 'off', 'mem', or 'jsonl:<path>'"
     )
+
+
+# Re-exported for facade convenience; the canonical home is context.py.
+__all__ = [
+    "HISTOGRAM_BUCKETS",
+    "JsonlSink",
+    "LabelKey",
+    "MemSink",
+    "MetricKey",
+    "SPEC_OFF",
+    "SpanHandle",
+    "TELEMETRY_ENV",
+    "Telemetry",
+    "TraceContext",
+    "active_spans",
+    "read_jsonl",
+    "telemetry_from_spec",
+]

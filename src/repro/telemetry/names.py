@@ -33,6 +33,7 @@ SPAN_NAMES: FrozenSet[str] = frozenset(
         "executor.map",
         "executor.warm",
         "gateway.batch.admit",
+        "gateway.client.request",
         "gateway.request",
         "ledger.append",
         "ledger.flush",
@@ -53,6 +54,7 @@ SPAN_NAMES: FrozenSet[str] = frozenset(
 COUNTER_NAMES: FrozenSet[str] = frozenset(
     {
         "audit.checks",
+        "audit.reports",
         "cluster.dispatch",
         "cluster.enroll",
         "cluster.heartbeat.miss",
@@ -81,6 +83,7 @@ GAUGE_NAMES: FrozenSet[str] = frozenset(
 HISTOGRAM_NAMES: FrozenSet[str] = frozenset(
     {
         "gateway.batch.size",
+        "gateway.request.seconds",
         "ledger.flush.records",
     }
 )

@@ -12,7 +12,7 @@ from __future__ import annotations
 import re
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.telemetry.core import LabelKey, _label_key, read_jsonl
+from repro.telemetry.core import HISTOGRAM_BUCKETS, LabelKey, _label_key, read_jsonl
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 
@@ -44,6 +44,8 @@ class TelemetrySnapshot:
         self.counters: Dict[Tuple[str, LabelKey], float] = {}
         self.gauges: Dict[Tuple[str, LabelKey], Tuple[float, float]] = {}  # (last, max)
         self.histograms: Dict[Tuple[str, LabelKey], Tuple[float, float, float, float]] = {}
+        self.histogram_buckets: Dict[Tuple[str, LabelKey], List[float]] = {}
+        self.histogram_exemplars: Dict[Tuple[str, LabelKey], str] = {}
 
     # ------------------------------------------------------------- building
 
@@ -79,16 +81,29 @@ class TelemetrySnapshot:
             total = float(event.get("sum", 0.0))
             low = float(event.get("min", 0.0))
             high = float(event.get("max", 0.0))
+            exemplar = event.get("exemplar")
             slot = self.histograms.get(key)
             if slot is None:
                 self.histograms[key] = (count, total, low, high)
+                if isinstance(exemplar, str) and exemplar:
+                    self.histogram_exemplars[key] = exemplar
             else:
+                if high >= slot[3] and isinstance(exemplar, str) and exemplar:
+                    self.histogram_exemplars[key] = exemplar
                 self.histograms[key] = (
                     slot[0] + count,
                     slot[1] + total,
                     min(slot[2], low),
                     max(slot[3], high),
                 )
+            incoming = event.get("buckets")
+            if isinstance(incoming, list):
+                buckets = self.histogram_buckets.get(key)
+                if buckets is None:
+                    self.histogram_buckets[key] = [float(v) for v in incoming]
+                else:
+                    for index in range(min(len(buckets), len(incoming))):
+                        buckets[index] += float(incoming[index])
 
     # ------------------------------------------------------------- queries
 
@@ -122,6 +137,145 @@ class TelemetrySnapshot:
                 best = high if best is None else max(best, high)
         return best
 
+    def histogram_quantile(self, name: str, quantile: float, **labels: Any) -> Optional[float]:
+        """Approximate quantile from merged bucket arrays (p50: ``0.5``).
+
+        Linear interpolation inside the landing bucket; clamped by the
+        observed min/max so a wide bucket cannot report a value outside
+        what was actually seen.  ``None`` when no matching series carries
+        buckets.
+        """
+        want = dict(_label_key(labels))
+        merged = [0.0] * (len(HISTOGRAM_BUCKETS) + 1)
+        low = high = None
+        found = False
+        for key, buckets in self.histogram_buckets.items():
+            metric, label_key = key
+            if metric != name:
+                continue
+            have = dict(label_key)
+            if not all(have.get(k) == v for k, v in want.items()):
+                continue
+            found = True
+            for index in range(min(len(merged), len(buckets))):
+                merged[index] += buckets[index]
+            slot = self.histograms.get(key)
+            if slot is not None:
+                low = slot[2] if low is None else min(low, slot[2])
+                high = slot[3] if high is None else max(high, slot[3])
+        total = sum(merged)
+        if not found or total <= 0.0:
+            return None
+        rank = max(0.0, min(1.0, quantile)) * total
+        cumulative = 0.0
+        for index, count in enumerate(merged):
+            if count <= 0.0:
+                continue
+            if cumulative + count >= rank:
+                lower = HISTOGRAM_BUCKETS[index - 1] if index > 0 else 0.0
+                upper = (
+                    HISTOGRAM_BUCKETS[index]
+                    if index < len(HISTOGRAM_BUCKETS)
+                    else (high if high is not None else lower)
+                )
+                fraction = (rank - cumulative) / count
+                value = lower + (upper - lower) * fraction
+                if low is not None:
+                    value = max(value, low)
+                if high is not None:
+                    value = min(value, high)
+                return value
+            cumulative += count
+        return high
+
+    # ------------------------------------------------------------- traces
+
+    def traces(self) -> Dict[str, List[Dict[str, Any]]]:
+        """Spans grouped by ``trace_id`` (spans without one are skipped)."""
+        grouped: Dict[str, List[Dict[str, Any]]] = {}
+        for span in self.spans:
+            trace_id = span.get("trace_id")
+            if isinstance(trace_id, str) and trace_id:
+                grouped.setdefault(trace_id, []).append(span)
+        return grouped
+
+    def trace_spans(self, trace_id: str) -> List[Dict[str, Any]]:
+        """Every span of one trace, including a unique-prefix match."""
+        grouped = self.traces()
+        if trace_id in grouped:
+            return grouped[trace_id]
+        matches = [tid for tid in grouped if tid.startswith(trace_id)]
+        if len(matches) == 1:
+            return grouped[matches[0]]
+        return []
+
+    def slowest_traces(self, top: int = 10) -> List[Tuple[str, float, str, int]]:
+        """``(trace_id, duration_seconds, root_name, span_count)`` by duration.
+
+        Duration is the wall-clock extent when spans carry ``wall`` stamps
+        (cross-process safe); otherwise the widest per-PID ``perf_counter``
+        extent (clocks from different PIDs are not comparable).
+        """
+        ranked: List[Tuple[str, float, str, int]] = []
+        for trace_id, spans in self.traces().items():
+            ranked.append((trace_id, _trace_extent(spans), _trace_root_name(spans), len(spans)))
+        ranked.sort(key=lambda item: item[1], reverse=True)
+        return ranked[:top]
+
+    def render_waterfall(self, trace_id: str, width: int = 48) -> str:
+        """One trace as an indented timeline: offsets, bars, durations.
+
+        Offsets are wall-clock based when every span carries a ``wall``
+        stamp; otherwise spans are aligned per-PID (monotonic clocks do not
+        compare across processes) with child processes anchored at their
+        parent span's offset.
+        """
+        spans = self.trace_spans(trace_id)
+        if not spans:
+            return f"trace {trace_id}: no spans"
+        offsets = _trace_offsets(spans)
+        extent = max(
+            offsets[id(span)] + float(span.get("duration", 0.0)) for span in spans
+        ) or 1e-9
+        by_id = {span.get("span_id"): span for span in spans if span.get("span_id")}
+        children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+        roots: List[Dict[str, Any]] = []
+        for span in spans:
+            parent = span.get("parent_id")
+            if parent and parent in by_id:
+                children.setdefault(parent, []).append(span)
+            else:
+                roots.append(span)
+
+        lines = [
+            f"trace {trace_id}  —  {len(spans)} span(s), {_format_seconds(extent)}"
+        ]
+        name_width = min(40, max(len(str(span.get("name", ""))) for span in spans) + 2)
+
+        def walk(members: List[Dict[str, Any]], depth: int) -> None:
+            members = sorted(members, key=lambda span: offsets[id(span)])
+            for span in members:
+                offset = offsets[id(span)]
+                duration = float(span.get("duration", 0.0))
+                begin = int(round(width * offset / extent))
+                length = max(1, int(round(width * duration / extent)))
+                begin = min(begin, width - 1)
+                length = min(length, width - begin)
+                bar = " " * begin + "█" * length + " " * (width - begin - length)
+                label = ("  " * depth + str(span.get("name", "")))[: name_width + 8]
+                error = ""
+                attrs = span.get("attrs") or {}
+                if attrs.get("error"):
+                    error = f"  !{attrs['error']}"
+                lines.append(
+                    f"{label.ljust(name_width + 8)} |{bar}| "
+                    f"{_format_seconds(duration):>9}  @+{_format_seconds(offset)}{error}"
+                )
+                walk(children.get(span.get("span_id"), []), depth + 1)
+
+        walk(roots, 0)
+        return "\n".join(lines)
+
     # ------------------------------------------------------------- rendering
 
     def to_prometheus(self) -> str:
@@ -154,6 +308,21 @@ class TelemetrySnapshot:
             lines.append(f"{base}_min{_label_text(labels)} {_num(low)}")
             header(base + "_max", "gauge")
             lines.append(f"{base}_max{_label_text(labels)} {_num(high)}")
+            buckets = self.histogram_buckets.get((name, labels))
+            if buckets:
+                header(base + "_bucket", "counter")
+                cumulative = 0.0
+                for index, bucket_count in enumerate(buckets):
+                    cumulative += bucket_count
+                    bound = (
+                        _num(HISTOGRAM_BUCKETS[index])
+                        if index < len(HISTOGRAM_BUCKETS)
+                        else "+Inf"
+                    )
+                    bucket_labels = labels + (("le", bound),)
+                    lines.append(
+                        f"{base}_bucket{_label_text(bucket_labels)} {_num(cumulative)}"
+                    )
 
         span_aggregate: Dict[str, List[float]] = {}
         for span in self.spans:
@@ -244,6 +413,15 @@ class TelemetrySnapshot:
                     f"{rank:3d}. {name.ljust(width)}  ×{count:<5d}"
                     f" self {_format_seconds(self_time):>9}  total {_format_seconds(total):>9}"
                 )
+        slow = self.slowest_traces(top=top)
+        if slow:
+            parts.append("")
+            parts.append(f"Slowest {len(slow)} trace(s):")
+            for rank, (trace_id, duration, root_name, span_count) in enumerate(slow, start=1):
+                parts.append(
+                    f"{rank:3d}. {trace_id}  {_format_seconds(duration):>9}"
+                    f"  {root_name}  ({span_count} span(s))"
+                )
         metrics = self.to_prometheus()
         if metrics:
             parts.append("")
@@ -291,6 +469,87 @@ def _group_spans(
         groups.append(SpanGroup(name, len(members), total, max(0.0, total - child_total), child_groups))
     groups.sort(key=lambda group: group.total, reverse=True)
     return groups
+
+
+def _spans_have_wall(spans: Sequence[Dict[str, Any]]) -> bool:
+    return all(float(span.get("wall", 0.0) or 0.0) > 0.0 for span in spans)
+
+
+def _trace_extent(spans: Sequence[Dict[str, Any]]) -> float:
+    """End-to-end duration of one trace's spans (see :meth:`slowest_traces`)."""
+    if not spans:
+        return 0.0
+    if _spans_have_wall(spans):
+        begin = min(float(span["wall"]) for span in spans)
+        end = max(float(span["wall"]) + float(span.get("duration", 0.0)) for span in spans)
+        return max(0.0, end - begin)
+    extent = 0.0
+    by_pid: Dict[Any, List[Dict[str, Any]]] = {}
+    for span in spans:
+        by_pid.setdefault(span.get("pid"), []).append(span)
+    for members in by_pid.values():
+        begin = min(float(span.get("start", 0.0)) for span in members)
+        end = max(
+            float(span.get("start", 0.0)) + float(span.get("duration", 0.0))
+            for span in members
+        )
+        extent = max(extent, end - begin)
+    return extent
+
+
+def _trace_root_name(spans: Sequence[Dict[str, Any]]) -> str:
+    ids = {span.get("span_id") for span in spans if span.get("span_id")}
+    roots = [span for span in spans if span.get("parent_id") not in ids]
+    if not roots:
+        roots = list(spans)
+    roots.sort(key=lambda span: float(span.get("wall", span.get("start", 0.0)) or 0.0))
+    return str(roots[0].get("name", ""))
+
+
+def _trace_offsets(spans: Sequence[Dict[str, Any]]) -> Dict[int, float]:
+    """Per-span offset (seconds) from the trace origin, keyed by ``id(span)``.
+
+    Wall-clock based when every span has a ``wall`` stamp.  Otherwise each
+    PID's spans are laid out on its own monotonic clock, anchored at the
+    offset of the parent span that dispatched into that PID (or 0).
+    """
+    offsets: Dict[int, float] = {}
+    if _spans_have_wall(spans):
+        origin = min(float(span["wall"]) for span in spans)
+        for span in spans:
+            offsets[id(span)] = float(span["wall"]) - origin
+        return offsets
+    by_id = {span.get("span_id"): span for span in spans if span.get("span_id")}
+    pid_begin: Dict[Any, float] = {}
+    pid_anchor: Dict[Any, float] = {}
+    for span in spans:
+        pid = span.get("pid")
+        start = float(span.get("start", 0.0))
+        if pid not in pid_begin or start < pid_begin[pid]:
+            pid_begin[pid] = start
+    root_pids = {
+        span.get("pid") for span in spans if span.get("parent_id") not in by_id
+    }
+    for pid in pid_begin:
+        if pid in root_pids:
+            pid_anchor[pid] = 0.0
+    for span in spans:
+        pid = span.get("pid")
+        if pid in pid_anchor:
+            continue
+        parent = by_id.get(span.get("parent_id"))
+        if parent is not None and parent.get("pid") in pid_anchor:
+            parent_pid = parent.get("pid")
+            pid_anchor[pid] = (
+                pid_anchor[parent_pid]
+                + float(parent.get("start", 0.0))
+                - pid_begin[parent_pid]
+            )
+    for span in spans:
+        pid = span.get("pid")
+        anchor = pid_anchor.get(pid, 0.0)
+        offsets[id(span)] = anchor + float(span.get("start", 0.0)) - pid_begin.get(pid, 0.0)
+    return offsets
 
 
 def _num(value: float) -> str:

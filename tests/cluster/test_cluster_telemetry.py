@@ -71,6 +71,34 @@ def test_cluster_tally_produces_one_merged_snapshot(tmp_path):
     assert "repro_cluster_dispatch_total" in report
 
 
+def test_worker_task_spans_parent_under_the_dispatch_span():
+    """Distributed trace continuity: TASK frames carry the dispatching call's
+    traceparent, so every worker-side ``cluster.task`` span — piggybacked back
+    on RESULT frames — parents under the coordinator's ``executor.map`` span
+    in one trace, not in per-worker orphan traces."""
+    telemetry.configure("mem", propagate=False)
+    executor = executor_from_spec("cluster:2")
+    try:
+        executor.warm()
+        results = executor.map(cluster_tasks.square, list(range(12)))
+        assert results == [value * value for value in range(12)]
+
+        snapshot = telemetry.snapshot()
+        (dispatch,) = snapshot.spans_named("executor.map")
+        tasks = snapshot.spans_named("cluster.task")
+        assert len(tasks) >= 2
+        for task in tasks:
+            assert task["trace_id"] == dispatch["trace_id"]
+            assert task["parent_id"] == dispatch["span_id"]
+        # Both workers contributed to the same trace.
+        assert {span["attrs"].get("worker") for span in tasks} == {"local-0", "local-1"}
+        # And the snapshot's per-trace grouping sees one end-to-end trace.
+        chain = snapshot.trace_spans(dispatch["trace_id"])
+        assert len(chain) == 1 + len(tasks)
+    finally:
+        executor.close()
+
+
 def test_worker_kill_mid_shard_keeps_survivor_spans_in_snapshot():
     """Kill one worker mid-shard: the group completes on the survivor, the
     reassignment is counted, and the survivor's spans still merge."""

@@ -1,0 +1,164 @@
+"""Trace context: contextvars parenting, the traceparent codec, sampling.
+
+The regression that motivated the contextvars rewrite lives here: two
+asyncio coroutines interleaving on one thread must keep *distinct* parent
+chains.  A thread-local span stack cannot tell them apart — whichever span
+happens to sit on top of the shared stack becomes everyone's parent — so
+the first test fails on that design by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import context
+
+
+# ---------------------------------------------------------------- parenting
+
+
+def test_interleaved_coroutines_keep_distinct_parent_chains():
+    """Two requests interleave on one event loop; each keeps its own trace."""
+    telemetry.configure("mem", propagate=False)
+
+    async def request(which: str) -> None:
+        with telemetry.span("gateway.request", which=which):
+            # Yield inside the span so the *other* coroutine's spans open and
+            # close while ours is on the (per-task) context.
+            await asyncio.sleep(0)
+            with telemetry.span("gateway.batch.admit", which=which):
+                await asyncio.sleep(0)
+
+    async def main() -> None:
+        await asyncio.gather(request("a"), request("b"))
+
+    asyncio.run(main())
+    snapshot = telemetry.snapshot()
+    roots = {span["attrs"]["which"]: span for span in snapshot.spans_named("gateway.request")}
+    children = snapshot.spans_named("gateway.batch.admit")
+    assert set(roots) == {"a", "b"} and len(children) == 2
+    # Each child parents under *its own* request, never the interleaved one.
+    for child in children:
+        root = roots[child["attrs"]["which"]]
+        assert child["parent_id"] == root["span_id"]
+        assert child["trace_id"] == root["trace_id"]
+    # And the two requests are separate traces entirely.
+    assert roots["a"]["trace_id"] != roots["b"]["trace_id"]
+
+
+def test_attached_remote_context_parents_local_spans():
+    """attach() continues a trace that began in another process."""
+    telemetry.configure("mem", propagate=False)
+    remote = telemetry.parse_traceparent(
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+    )
+    token = telemetry.attach(remote)
+    try:
+        with telemetry.span("cluster.task"):
+            pass
+    finally:
+        telemetry.detach(token)
+    (span,) = telemetry.snapshot().spans_named("cluster.task")
+    assert span["trace_id"] == "4bf92f3577b34da6a3ce929d0e0e4736"
+    assert span["parent_id"] == "00f067aa0ba902b7"
+    # detach() restored the outer state: a fresh span mints a fresh trace.
+    with telemetry.span("ledger.read"):
+        pass
+    (outside,) = telemetry.snapshot().spans_named("ledger.read")
+    assert outside["trace_id"] != span["trace_id"]
+    assert outside["parent_id"] is None
+
+
+def test_root_span_mints_a_trace_and_children_inherit_it():
+    telemetry.configure("mem", propagate=False)
+    with telemetry.span("audit.run"):
+        with telemetry.span("ledger.read"):
+            pass
+    (root,) = telemetry.snapshot().spans_named("audit.run")
+    (child,) = telemetry.snapshot().spans_named("ledger.read")
+    assert len(root["trace_id"]) == 32 and len(root["span_id"]) == 16
+    assert root["parent_id"] is None
+    assert child["trace_id"] == root["trace_id"]
+    assert child["parent_id"] == root["span_id"]
+
+
+# ---------------------------------------------------------------- the codec
+
+
+def test_traceparent_round_trip():
+    ctx = context.TraceContext(
+        trace_id="4bf92f3577b34da6a3ce929d0e0e4736",
+        span_id="00f067aa0ba902b7",
+        sampled=True,
+    )
+    assert context.parse_traceparent(ctx.to_traceparent()) == ctx
+    unsampled = ctx._replace(sampled=False)
+    assert unsampled.to_traceparent().endswith("-00")
+    assert context.parse_traceparent(unsampled.to_traceparent()) == unsampled
+
+
+@pytest.mark.parametrize(
+    "header",
+    [
+        "",
+        "garbage",
+        "00-short-00f067aa0ba902b7-01",
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",  # missing flags
+        "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  # bad version
+        "00-" + "0" * 32 + "-00f067aa0ba902b7-01",  # all-zero trace id
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-" + "0" * 16 + "-01",  # zero span
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902bZ-01",  # non-hex
+    ],
+)
+def test_malformed_traceparents_are_rejected(header):
+    assert context.parse_traceparent(header) is None
+
+
+# ----------------------------------------------------------------- sampling
+
+
+def test_sampling_decision_is_deterministic_in_the_trace_id():
+    low = "00000000" + "0" * 24   # hash prefix 0 -> always kept for rate > 0
+    high = "ffffffff" + "0" * 24  # hash prefix max -> only kept at rate 1.0
+    assert context.trace_is_sampled(low, 0.01)
+    assert not context.trace_is_sampled(high, 0.99)
+    assert context.trace_is_sampled(high, 1.0)
+    assert not context.trace_is_sampled(low, 0.0)
+
+
+def test_sample_rate_env_is_clamped(monkeypatch):
+    monkeypatch.setenv(context.SAMPLE_ENV, "7")
+    assert context.sample_rate() == 1.0
+    monkeypatch.setenv(context.SAMPLE_ENV, "-1")
+    assert context.sample_rate() == 0.0
+    monkeypatch.setenv(context.SAMPLE_ENV, "not a number")
+    assert context.sample_rate() == 1.0
+    monkeypatch.delenv(context.SAMPLE_ENV)
+    assert context.sample_rate() == 1.0
+
+
+def test_zero_sample_rate_drops_spans_but_never_errors(monkeypatch):
+    monkeypatch.setenv(context.SAMPLE_ENV, "0")
+    telemetry.configure("mem", propagate=False)
+    with telemetry.span("ledger.append"):
+        with telemetry.span("ledger.flush"):
+            pass
+    snapshot = telemetry.snapshot()
+    assert snapshot.spans_named("ledger.append") == []
+    assert snapshot.spans_named("ledger.flush") == []
+    # A failing span is recorded at any sample rate: failures stay visible.
+    with pytest.raises(ValueError):
+        with telemetry.span("ledger.read"):
+            raise ValueError("boom")
+    (error_span,) = telemetry.snapshot().spans_named("ledger.read")
+    assert error_span["attrs"]["error"] == "ValueError"
+
+
+def test_metrics_are_never_sampled(monkeypatch):
+    monkeypatch.setenv(context.SAMPLE_ENV, "0")
+    telemetry.configure("mem", propagate=False)
+    telemetry.counter("gateway.casts", 3)
+    assert telemetry.snapshot().counter_total("gateway.casts") == 3
